@@ -1,0 +1,67 @@
+// Ablation (§6.5): certificate size vs handshake cost. Sweeps SAN counts,
+// reports TLS-record fragmentation, extra round trips, and the point where
+// browsers give up (the 10000-SAN badssl failure), plus per-CA issuance
+// limits.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dataset/catalog.h"
+#include "tls/ca.h"
+#include "tls/handshake.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace origin;
+  std::printf("== Ablation: certificate size vs TLS handshake cost (§6.5) ==\n");
+  std::printf(
+      "reproduces: §6.5 (cert > 16KB record fragments; badssl 10000-SAN "
+      "fails; LE/DigiCert/GoDaddy cap 100 names, Comodo 2000)\n\n");
+
+  tls::CertificateAuthority ca("Unbounded CA", 0xAB1A, 50'000);
+  util::Table table({"SAN count", "chain bytes", "TLS records", "round trips",
+                     "handshake ms", "loads?"});
+  for (std::size_t sans :
+       {1ul, 3ul, 7ul, 10ul, 50ul, 100ul, 250ul, 500ul, 1000ul, 2000ul,
+        5000ul, 10000ul}) {
+    std::vector<std::string> names;
+    names.reserve(sans);
+    for (std::size_t i = 0; i < sans; ++i) {
+      names.push_back("subject-alt-name-" + std::to_string(i) +
+                      ".example.com");
+    }
+    auto cert = ca.issue("example.com", names,
+                         origin::util::SimTime::from_micros(0));
+    tls::CertificateChain chain;
+    chain.leaf = *cert;
+    auto result = tls::simulate_handshake(chain, tls::HandshakeParams{});
+    table.add_row({std::to_string(sans),
+                   util::format_count(result.chain_bytes),
+                   std::to_string(result.tls_records),
+                   std::to_string(result.round_trips),
+                   util::format_double(result.duration.as_millis(), 1),
+                   result.ok ? "yes" : "SSL_PROTOCOL_ERROR"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nleast-effort additions (paper: <=3 names for 50%% of sites, <=7 at "
+      "p75, <=10 for 92%%) never leave the 1-record/1-RTT regime.\n\n");
+
+  std::printf("per-CA SAN issuance limits:\n");
+  util::Table limits({"CA", "max SANs", "101-name issuance"});
+  for (const auto& issuer : dataset::issuers()) {
+    tls::CertificateAuthority test_ca(issuer.name, 0x11, issuer.max_san_entries);
+    std::vector<std::string> names;
+    for (int i = 0; i < 101; ++i) {
+      names.push_back("n" + std::to_string(i) + ".example.org");
+    }
+    auto attempt = test_ca.issue("example.org", names,
+                                 origin::util::SimTime::from_micros(0));
+    limits.add_row({issuer.name, std::to_string(issuer.max_san_entries),
+                    attempt.ok() ? "issued" : "REFUSED (limit)"});
+  }
+  std::fputs(limits.render().c_str(), stdout);
+  return 0;
+}

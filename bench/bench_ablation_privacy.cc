@@ -1,0 +1,69 @@
+// Ablation (§6.2): cleartext exposure. Every un-coalesced connection leaks
+// a plaintext SNI in its ClientHello, and every blocking lookup over Do53
+// leaks the queried name. The paper argues privacy — not speed — is the
+// primary ORIGIN benefit: coalesced requests produce neither signal.
+#include "bench_common.h"
+#include "model/coalescing_model.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace origin;
+  auto args = bench::Args::parse(argc, argv);
+  bench::print_header(
+      "Ablation: on-path cleartext exposure per page load (§6.2)",
+      "§6.2 (each coalesced connection hides one plaintext SNI and at least "
+      "one UDP/TCP-53 DNS query from on-path observers)",
+      args);
+
+  auto corpus = bench::make_corpus(args);
+  model::CoalescingModel coalescing_model(corpus.env());
+
+  std::vector<double> measured_sni, measured_dns53, origin_sni, origin_dns53;
+  std::uint64_t measured_total = 0, origin_total = 0;
+  dataset::collect(
+      corpus, bench::chrome_collect_options(),
+      [&](const dataset::SiteInfo&, const web::PageLoad& load) {
+        auto analysis = coalescing_model.analyze(load);
+        // Every new TLS connection leaks its SNI; every DNS query over
+        // Do53 leaks a hostname.
+        measured_sni.push_back(static_cast<double>(analysis.measured_tls));
+        measured_dns53.push_back(static_cast<double>(analysis.measured_dns));
+        origin_sni.push_back(static_cast<double>(analysis.ideal_origin_tls));
+        origin_dns53.push_back(static_cast<double>(analysis.ideal_origin_dns));
+        measured_total += analysis.measured_tls + analysis.measured_dns;
+        origin_total +=
+            analysis.ideal_origin_tls + analysis.ideal_origin_dns;
+      });
+
+  util::Table table({"World", "median SNI leaks", "median DNS(53) leaks",
+                     "median total"});
+  auto med = [](const std::vector<double>& v) {
+    return util::percentile(v, 50);
+  };
+  table.add_row({"measured (Do53, no coalescing changes)",
+                 util::format_double(med(measured_sni), 0),
+                 util::format_double(med(measured_dns53), 0),
+                 util::format_double(med(measured_sni) + med(measured_dns53), 0)});
+  table.add_row({"ideal ORIGIN (Do53)",
+                 util::format_double(med(origin_sni), 0),
+                 util::format_double(med(origin_dns53), 0),
+                 util::format_double(med(origin_sni) + med(origin_dns53), 0)});
+  table.add_row({"ideal ORIGIN + DoH/DoT",
+                 util::format_double(med(origin_sni), 0), "0",
+                 util::format_double(med(origin_sni), 0)});
+  table.add_row({"ideal ORIGIN + DoH + ECH", "0", "0", "0"});
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\ntotal cleartext hostname signals across the corpus: %s measured -> "
+      "%s under ideal ORIGIN (%.0f%% fewer)\n",
+      util::format_count(measured_total).c_str(),
+      util::format_count(origin_total).c_str(),
+      100.0 * (1.0 - static_cast<double>(origin_total) /
+                         static_cast<double>(measured_total)));
+  std::printf(
+      "ORIGIN removes the signals per-connection; DoH/DoT and ECH (§6.2) "
+      "remove the remaining query and SNI channels respectively.\n");
+  return 0;
+}

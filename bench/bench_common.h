@@ -1,0 +1,61 @@
+// Shared helpers for the reproduction benches: flag parsing, corpus
+// construction, and headers. Every bench accepts:
+//   --sites N   corpus size (default 20000; the paper crawled 315,796)
+//   --seed  S   corpus seed (default 42)
+// Defaults reproduce the committed EXPERIMENTS.md numbers exactly.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "dataset/collector.h"
+#include "dataset/generator.h"
+#include "measure/reports.h"
+
+namespace origin::bench {
+
+struct Args {
+  std::size_t sites = 20'000;
+  std::uint64_t seed = 42;
+
+  static Args parse(int argc, char** argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--sites") == 0 && i + 1 < argc) {
+        args.sites = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        args.seed = std::strtoull(argv[++i], nullptr, 10);
+      }
+    }
+    return args;
+  }
+};
+
+inline dataset::Corpus make_corpus(const Args& args) {
+  dataset::CorpusOptions options;
+  options.site_count = args.sites;
+  options.seed = args.seed;
+  return dataset::Corpus(options);
+}
+
+// The Chrome-v88-equivalent collection configuration used for the §3
+// dataset (measured vantage).
+inline dataset::CollectOptions chrome_collect_options() {
+  dataset::CollectOptions options;
+  options.loader.policy = "chromium-ip";
+  // Recursive resolution from the collection vantage averaged ~25ms.
+  options.loader.resolver.recursive_base = origin::util::Duration::millis(55);
+  return options;
+}
+
+inline void print_header(const char* experiment, const char* paper_ref,
+                         const Args& args) {
+  std::printf("== %s ==\n", experiment);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("corpus: %zu sites, seed %llu (paper: 315,796 sites)\n\n",
+              args.sites, static_cast<unsigned long long>(args.seed));
+}
+
+}  // namespace origin::bench

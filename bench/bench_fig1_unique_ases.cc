@@ -1,0 +1,21 @@
+// Regenerates Figure 1: frequency distribution and CDF of the number of
+// unique ASes needed to fully load a webpage.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace origin;
+  auto args = bench::Args::parse(argc, argv);
+  bench::print_header(
+      "Figure 1: unique ASes contacted per page load",
+      "Fig 1 (6.5% single-AS pages; largest bin 14% at 2 ASes; CDF crosses "
+      "0.5 at 6 ASes)",
+      args);
+  auto corpus = bench::make_corpus(args);
+  measure::DatasetReport report;
+  dataset::collect(corpus, bench::chrome_collect_options(),
+                   [&](const dataset::SiteInfo& site, const web::PageLoad& load) {
+                     report.add(site, load);
+                   });
+  std::fputs(report.fig1_unique_ases().render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Regenerates Figure 3: CDFs of measured DNS queries and TLS connections
+// per page against the ideal IP-based and ideal ORIGIN-based coalescing
+// predictions of the §4 model, plus the §4.2 certificate-validation
+// reductions.
+#include "bench_common.h"
+#include "model/coalescing_model.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace origin;
+  auto args = bench::Args::parse(argc, argv);
+  bench::print_header(
+      "Figure 3: measured vs ideal coalescing (DNS queries, TLS connections)",
+      "Fig 3 (measured medians DNS 14 / TLS 16; ideal IP 13/13; ideal ORIGIN "
+      "5/5 => -64% DNS, -67% TLS; validations p75 30 -> 9)",
+      args);
+
+  auto corpus = bench::make_corpus(args);
+  model::CoalescingModel coalescing_model(corpus.env());
+
+  std::vector<double> measured_dns, measured_tls, ip_dns, ip_tls, origin_dns,
+      origin_tls, measured_validations, origin_validations;
+  dataset::collect(
+      corpus, bench::chrome_collect_options(),
+      [&](const dataset::SiteInfo&, const web::PageLoad& load) {
+        auto analysis = coalescing_model.analyze(load);
+        measured_dns.push_back(static_cast<double>(analysis.measured_dns));
+        measured_tls.push_back(static_cast<double>(analysis.measured_tls));
+        ip_dns.push_back(static_cast<double>(analysis.ideal_ip_dns));
+        ip_tls.push_back(static_cast<double>(analysis.ideal_ip_tls));
+        origin_dns.push_back(static_cast<double>(analysis.ideal_origin_dns));
+        origin_tls.push_back(static_cast<double>(analysis.ideal_origin_tls));
+        measured_validations.push_back(
+            static_cast<double>(analysis.measured_validations));
+        origin_validations.push_back(
+            static_cast<double>(analysis.ideal_origin_validations));
+      });
+
+  auto row = [](const char* name, std::vector<double> v) {
+    auto s = util::summarize(v);
+    return std::vector<std::string>{
+        name, util::format_double(s.p25, 0), util::format_double(s.median, 0),
+        util::format_double(s.p75, 0), util::format_double(s.p90, 0)};
+  };
+  util::Table table({"Series", "p25", "median", "p75", "p90"});
+  table.add_row(row("Measured DNS Requests", measured_dns));
+  table.add_row(row("Measured TLS Requests", measured_tls));
+  table.add_row(row("Ideal Modelled IP Coalescing (DNS)", ip_dns));
+  table.add_row(row("Ideal Modelled IP Coalescing (TLS)", ip_tls));
+  table.add_row(row("Ideal Modelled Origin Coalescing (DNS)", origin_dns));
+  table.add_row(row("Ideal Modelled Origin Coalescing (TLS)", origin_tls));
+  table.add_row(row("Measured Cert Validations", measured_validations));
+  table.add_row(row("Ideal Origin Cert Validations", origin_validations));
+  std::fputs(table.render().c_str(), stdout);
+
+  const double dns_med = util::percentile(measured_dns, 50);
+  const double tls_med = util::percentile(measured_tls, 50);
+  const double odns_med = util::percentile(origin_dns, 50);
+  const double otls_med = util::percentile(origin_tls, 50);
+  const double ipdns_med = util::percentile(ip_dns, 50);
+  const double iptls_med = util::percentile(ip_tls, 50);
+  std::printf(
+      "\nmedian reductions vs measured:\n"
+      "  ideal IP:     DNS %.0f -> %.0f (%.0f%%), TLS %.0f -> %.0f (%.0f%%)"
+      "   [paper: ~7%% DNS, ~19%% TLS]\n"
+      "  ideal ORIGIN: DNS %.0f -> %.0f (%.0f%%), TLS %.0f -> %.0f (%.0f%%)"
+      "   [paper: ~64%% DNS, ~67%% TLS]\n",
+      dns_med, ipdns_med, 100.0 * (1.0 - ipdns_med / dns_med), tls_med,
+      iptls_med, 100.0 * (1.0 - iptls_med / tls_med), dns_med, odns_med,
+      100.0 * (1.0 - odns_med / dns_med), tls_med, otls_med,
+      100.0 * (1.0 - otls_med / tls_med));
+
+  auto mv = util::summarize(measured_validations);
+  auto ov = util::summarize(origin_validations);
+  std::printf(
+      "validations: median %.0f -> %.0f, IQR %.0f -> %.0f, p75 %.0f -> %.0f "
+      "(%.2f%% reduction)   [paper: IQR 22 -> 6, p75 30 -> 9 (76.67%%)]\n",
+      mv.median, ov.median, mv.iqr(), ov.iqr(), mv.p75, ov.p75,
+      100.0 * (1.0 - ov.p75 / mv.p75));
+
+  std::printf("\nCDF (TLS connections, 0..40):\n");
+  std::printf("  measured      |%s|\n",
+              util::Cdf::from(measured_tls).ascii(0, 40).c_str());
+  std::printf("  ideal IP      |%s|\n",
+              util::Cdf::from(ip_tls).ascii(0, 40).c_str());
+  std::printf("  ideal ORIGIN  |%s|\n",
+              util::Cdf::from(origin_tls).ascii(0, 40).c_str());
+  return 0;
+}

@@ -1,0 +1,133 @@
+// google-benchmark microbenchmarks for the protocol substrates: HPACK
+// encode/decode, Huffman coding, frame serialization/parsing (including the
+// ORIGIN frame), and a full in-memory h2 request/response exchange.
+#include <benchmark/benchmark.h>
+
+#include "h2/connection.h"
+#include "h2/frame.h"
+#include "hpack/hpack.h"
+#include "hpack/huffman.h"
+
+namespace {
+
+using namespace origin;
+
+hpack::HeaderList request_headers() {
+  return {{":method", "GET"},
+          {":scheme", "https"},
+          {":authority", "www.example.com"},
+          {":path", "/assets/app.53f2c1.js"},
+          {"user-agent",
+           "Mozilla/5.0 (X11; Linux x86_64; rv:96.0) Gecko/20100101 "
+           "Firefox/96.0"},
+          {"accept", "*/*"},
+          {"accept-encoding", "gzip, deflate, br"},
+          {"referer", "https://www.example.com/"}};
+}
+
+void BM_HpackEncode(benchmark::State& state) {
+  hpack::Encoder encoder;
+  auto headers = request_headers();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.encode(headers));
+  }
+}
+BENCHMARK(BM_HpackEncode);
+
+void BM_HpackDecode(benchmark::State& state) {
+  hpack::Encoder encoder;
+  hpack::Decoder decoder;
+  auto headers = request_headers();
+  auto block = encoder.encode(headers);
+  // Re-encode once so the block uses dynamic-table references (steady
+  // state of a connection).
+  block = encoder.encode(headers);
+  (void)decoder.decode(block);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decoder.decode(block));
+  }
+}
+BENCHMARK(BM_HpackDecode);
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  const std::string value =
+      "https://cdnjs.cloudflare.com/ajax/libs/jquery/3.6.0/jquery.min.js";
+  for (auto _ : state) {
+    origin::util::ByteWriter writer;
+    hpack::huffman_encode(value, writer);
+    benchmark::DoNotOptimize(writer.bytes());
+  }
+}
+BENCHMARK(BM_HuffmanEncode);
+
+void BM_HuffmanDecode(benchmark::State& state) {
+  const std::string value =
+      "https://cdnjs.cloudflare.com/ajax/libs/jquery/3.6.0/jquery.min.js";
+  origin::util::ByteWriter writer;
+  hpack::huffman_encode(value, writer);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hpack::huffman_decode(writer.bytes()));
+  }
+}
+BENCHMARK(BM_HuffmanDecode);
+
+void BM_SerializeOriginFrame(benchmark::State& state) {
+  h2::OriginFrame frame;
+  for (int i = 0; i < 8; ++i) {
+    frame.origins.push_back("https://shard" + std::to_string(i) +
+                            ".example.com");
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h2::serialize_frame(h2::Frame{frame}));
+  }
+}
+BENCHMARK(BM_SerializeOriginFrame);
+
+void BM_ParseFrameStream(benchmark::State& state) {
+  origin::util::Bytes wire;
+  h2::SettingsFrame settings;
+  settings.settings = {{h2::SettingId::kMaxConcurrentStreams, 128}};
+  auto append = [&wire](const h2::Frame& frame) {
+    auto bytes = h2::serialize_frame(frame);
+    wire.insert(wire.end(), bytes.begin(), bytes.end());
+  };
+  append(h2::Frame{settings});
+  h2::OriginFrame origin_frame;
+  origin_frame.origins = {"https://a.example", "https://b.example"};
+  append(h2::Frame{origin_frame});
+  h2::DataFrame data;
+  data.stream_id = 1;
+  data.data.assign(4096, 0x42);
+  append(h2::Frame{data});
+  for (auto _ : state) {
+    h2::FrameParser parser;
+    benchmark::DoNotOptimize(parser.feed(wire));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_ParseFrameStream);
+
+void BM_H2RequestResponse(benchmark::State& state) {
+  for (auto _ : state) {
+    h2::Origin origin;
+    origin.host = "www.example.com";
+    h2::Connection client(h2::Connection::Role::kClient, origin);
+    h2::Connection server(h2::Connection::Role::kServer, origin);
+    h2::ConnectionCallbacks callbacks;
+    callbacks.on_headers = [&server](std::uint32_t stream,
+                                     const hpack::HeaderList&, bool) {
+      (void)server.submit_response(stream, {{":status", "200"}}, true);
+    };
+    server.set_callbacks(std::move(callbacks));
+    (void)client.submit_request(request_headers(), true);
+    (void)server.receive(client.take_output());
+    (void)client.receive(server.take_output());
+    benchmark::DoNotOptimize(client.find_stream(1));
+  }
+}
+BENCHMARK(BM_H2RequestResponse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

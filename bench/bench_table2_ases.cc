@@ -1,0 +1,23 @@
+// Regenerates Table 2: the top-10 destination ASes for resource requests.
+#include "bench_common.h"
+
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace origin;
+  auto args = bench::Args::parse(argc, argv);
+  bench::print_header("Table 2: top destination ASes by request share",
+                      "Table 2 (Google 22.10%, Cloudflare 13.75%, Amazon-02 "
+                      "8.40%; top-10 total 63.68%)",
+                      args);
+  auto corpus = bench::make_corpus(args);
+  measure::DatasetReport report;
+  dataset::collect(corpus, bench::chrome_collect_options(),
+                   [&](const dataset::SiteInfo& site, const web::PageLoad& load) {
+                     report.add(site, load);
+                   });
+  std::fputs(report.table2_ases().render().c_str(), stdout);
+  std::printf("\ntotal requests: %s (paper: 35,882,587)\n",
+              origin::util::format_count(report.total_requests()).c_str());
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Regenerates Table 3: requests by application protocol and version, and
+// the encrypted-traffic share.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace origin;
+  auto args = bench::Args::parse(argc, argv);
+  bench::print_header("Table 3: request protocol mix",
+                      "Table 3 (HTTP/2 73.64%, HTTP/1.1 19.09%, N/A 6.80%; "
+                      "secure 98.53%)",
+                      args);
+  auto corpus = bench::make_corpus(args);
+  measure::DatasetReport report;
+  dataset::collect(corpus, bench::chrome_collect_options(),
+                   [&](const dataset::SiteInfo& site, const web::PageLoad& load) {
+                     report.add(site, load);
+                   });
+  std::fputs(report.table3_protocols().render().c_str(), stdout);
+  return 0;
+}

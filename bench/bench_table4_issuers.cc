@@ -1,0 +1,20 @@
+// Regenerates Table 4: top certificate issuers by validations performed
+// during page loads.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace origin;
+  auto args = bench::Args::parse(argc, argv);
+  bench::print_header("Table 4: certificate issuers by validation count",
+                      "Table 4 (GTS 25.86%, LE R3 9.58%, Amazon 9.15%, CF ECC "
+                      "CA-3 7.61%; validations = 16.24% of requests)",
+                      args);
+  auto corpus = bench::make_corpus(args);
+  measure::DatasetReport report;
+  dataset::collect(corpus, bench::chrome_collect_options(),
+                   [&](const dataset::SiteInfo& site, const web::PageLoad& load) {
+                     report.add(site, load);
+                   });
+  std::fputs(report.table4_issuers().render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Regenerates Table 5: request breakdown by top content types.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace origin;
+  auto args = bench::Args::parse(argc, argv);
+  bench::print_header("Table 5: requests by content type",
+                      "Table 5 (js 14.26%, jpeg 13.02%, png 10.67%, html "
+                      "10.32%, gif 8.97%, css 7.79%)",
+                      args);
+  auto corpus = bench::make_corpus(args);
+  measure::DatasetReport report;
+  dataset::collect(corpus, bench::chrome_collect_options(),
+                   [&](const dataset::SiteInfo& site, const web::PageLoad& load) {
+                     report.add(site, load);
+                   });
+  std::fputs(report.table5_content_types().render().c_str(), stdout);
+  return 0;
+}

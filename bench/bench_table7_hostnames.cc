@@ -1,0 +1,19 @@
+// Regenerates Table 7: top subresource hostnames across all page loads.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace origin;
+  auto args = bench::Args::parse(argc, argv);
+  bench::print_header("Table 7: top subresource hostnames",
+                      "Table 7 (fonts.gstatic.com 2.23%, google-analytics "
+                      "1.67%, facebook 1.58%; top-10 = 12.5% of requests)",
+                      args);
+  auto corpus = bench::make_corpus(args);
+  measure::DatasetReport report;
+  dataset::collect(corpus, bench::chrome_collect_options(),
+                   [&](const dataset::SiteInfo& site, const web::PageLoad& load) {
+                     report.add(site, load);
+                   });
+  std::fputs(report.table7_hostnames().render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Least-effort certificate planning (§4.3) as a tool: for a handful of
+// corpus sites, show what the site's certificate covers today, what its
+// page actually needs from the same provider, and the SAN additions that
+// would let every coalescable request ride the first connection.
+//
+//   $ ./build/examples/cert_planner_tool
+#include <cstdio>
+
+#include "browser/page_loader.h"
+#include "dataset/collector.h"
+#include "dataset/generator.h"
+#include "model/cert_planner.h"
+
+using namespace origin;
+
+int main() {
+  dataset::CorpusOptions options;
+  options.site_count = 2000;
+  dataset::Corpus corpus(options);
+
+  browser::LoaderOptions loader_options;
+  loader_options.policy = "chromium-ip";
+  browser::PageLoader loader(corpus.env(), loader_options);
+  model::CertPlanner planner(corpus.env(), model::Grouping::kAsn);
+
+  std::size_t shown = 0;
+  for (std::size_t i = 0; i < corpus.sites().size() && shown < 5; ++i) {
+    const auto& site = corpus.sites()[i];
+    if (!site.crawl_succeeded) continue;
+    auto load = loader.load(corpus.page_for_site(i));
+    auto plan = planner.plan(load);
+    if (!plan.needs_change()) continue;
+    ++shown;
+
+    const auto* service = corpus.env().find_service(site.domain);
+    std::printf("site: %s  (hosted by %s, AS%u)\n", site.domain.c_str(),
+                site.provider.c_str(), service ? service->asn : 0);
+    std::printf("  certificate SAN today (%zu):", plan.existing_san_count);
+    if (service != nullptr) {
+      for (std::size_t s = 0;
+           s < std::min<std::size_t>(4, service->certificate->san_dns.size());
+           ++s) {
+        std::printf(" %s", service->certificate->san_dns[s].c_str());
+      }
+      if (service->certificate->san_dns.size() > 4) std::printf(" ...");
+    }
+    std::printf("\n  additions for full coalescing (%zu):",
+                plan.additions.size());
+    for (std::size_t a = 0; a < std::min<std::size_t>(5, plan.additions.size());
+         ++a) {
+      std::printf(" %s", plan.additions[a].c_str());
+    }
+    if (plan.additions.size() > 5) std::printf(" ...");
+    std::printf("\n  -> ideal SAN size %zu; ORIGIN frame should list the "
+                "same names\n\n",
+                plan.ideal_san_count());
+  }
+  if (shown == 0) std::printf("no sites needed changes in this sample\n");
+  return 0;
+}

@@ -1,0 +1,280 @@
+#include "browser/page_loader.h"
+
+#include <algorithm>
+
+namespace origin::browser {
+
+using origin::util::Duration;
+using origin::util::SimTime;
+
+namespace {
+
+constexpr std::size_t kRequestBytes = 500;  // serialized request size
+
+bool is_h2_capable(web::HttpVersion version) {
+  return version == web::HttpVersion::kH2 || version == web::HttpVersion::kH3 ||
+         version == web::HttpVersion::kQuic;
+}
+
+std::string pool_key_for(web::RequestMode mode) {
+  // CORS-anonymous and fetch/XHR requests live in a credentialless pool and
+  // never coalesce onto credentialed connections (§5.3 observation).
+  switch (mode) {
+    case web::RequestMode::kCorsAnonymous:
+    case web::RequestMode::kFetchApi:
+      return "anon";
+    default:
+      return "cred";
+  }
+}
+
+}  // namespace
+
+PageLoader::PageLoader(Environment& env, LoaderOptions options)
+    : env_(env),
+      options_(std::move(options)),
+      policy_(make_policy(options_.policy)),
+      rng_(options_.seed) {
+  if (policy_ == nullptr) policy_ = std::make_unique<ChromiumIpPolicy>();
+}
+
+web::PageLoad PageLoader::load(const web::Webpage& page) {
+  web::PageLoad result;
+  result.tranco_rank = page.tranco_rank;
+  result.base_hostname = page.base_hostname;
+
+  // Fresh session per page: new resolver cache, empty pool (paper §3.1:
+  // each trial used a new browser session to kill caching effects).
+  origin::util::Rng page_rng = rng_.fork(page.tranco_rank + 1);
+  dns::Resolver resolver(env_.dns(), options_.resolver, page_rng.next());
+  std::vector<LiveConnection> pool;
+
+  result.entries.reserve(page.resources.size());
+  for (std::size_t i = 0; i < page.resources.size(); ++i) {
+    const web::Resource& res = page.resources[i];
+    web::HarEntry entry;
+    entry.resource_index = static_cast<int>(i);
+    entry.hostname = res.hostname;
+    entry.version = res.recorded_version;
+    entry.secure = res.secure;
+    entry.mode = res.mode;
+    entry.content_type = res.content_type;
+
+    // Dependency gate: a request dispatches after its parent's response has
+    // been parsed for `discovery_cpu_ms` (§4.1 keeps this CPU time fixed).
+    SimTime ready;
+    if (res.parent >= 0 &&
+        static_cast<std::size_t>(res.parent) < result.entries.size()) {
+      const auto& parent = result.entries[static_cast<std::size_t>(res.parent)];
+      ready = parent.end() + Duration::millis(res.discovery_cpu_ms);
+    }
+    entry.start = ready;
+
+    const Service* service = env_.find_service(res.hostname);
+    if (service == nullptr) {
+      // Dead reference on the page: DNS failure, no connection.
+      auto answer = resolver.resolve(res.hostname, dns::Family::kV4, ready);
+      entry.new_dns_query = !answer.from_cache;
+      entry.timings.dns = answer.latency;
+      result.entries.push_back(std::move(entry));
+      continue;
+    }
+    entry.asn = service->asn;
+
+    const std::string pool_key = pool_key_for(res.mode);
+    const bool h2_capable = is_h2_capable(res.version) && res.secure;
+    LiveConnection* chosen = nullptr;
+    bool via_coalescing = false;
+    Duration penalty;  // 421 retry cost, accrues into `blocked`
+
+    // --- 1. same-host reuse -------------------------------------------
+    // h2: any same-host connection multiplexes. h1: browsers cap parallel
+    // connections per host (6 in practice; 2 here matches our coarser
+    // request granularity) and queue on the least-busy one beyond that.
+    std::size_t h1_conns_to_host = 0;
+    LiveConnection* least_busy_h1 = nullptr;
+    for (auto& conn : pool) {
+      if (conn.record.pool_key != pool_key) continue;
+      if (conn.record.sni != res.hostname) continue;
+      if (conn.record.http2 && h2_capable) {
+        chosen = &conn;
+        break;
+      }
+      if (!conn.record.http2 && !h2_capable) {
+        ++h1_conns_to_host;
+        if (conn.busy_until <= ready) {
+          chosen = &conn;  // idle keep-alive
+          break;
+        }
+        if (least_busy_h1 == nullptr ||
+            conn.busy_until < least_busy_h1->busy_until) {
+          least_busy_h1 = &conn;
+        }
+      }
+    }
+    if (chosen == nullptr && least_busy_h1 != nullptr &&
+        h1_conns_to_host >= 2) {
+      // Queue behind the least-busy existing h1 connection; the queueing
+      // delay is the request's `blocked` phase.
+      chosen = least_busy_h1;
+      penalty = chosen->busy_until - ready;
+    }
+
+    dns::Answer answer;
+    bool resolved = false;
+
+    // --- 2. cross-host coalescing -------------------------------------
+    // Credentialless (CORS-anonymous / fetch) connections never coalesce
+    // across hostnames — the obstruction §5.3 observed in deployment.
+    if (chosen == nullptr && h2_capable && pool_key == "cred") {
+      // 2a. without DNS (spec-pure ORIGIN clients only).
+      for (auto& conn : pool) {
+        if (conn.record.pool_key != pool_key || !conn.record.http2) continue;
+        if (policy_->can_decide_without_dns(conn.record, res.hostname)) {
+          auto decision = policy_->evaluate(conn.record, res.hostname, {});
+          if (decision.reuse) {
+            chosen = &conn;
+            via_coalescing = true;
+            break;
+          }
+        }
+      }
+      // 2b. with a blocking DNS query.
+      if (chosen == nullptr) {
+        answer = resolver.resolve(res.hostname, dns::Family::kV4, ready);
+        resolved = true;
+        entry.new_dns_query = !answer.from_cache;
+        entry.timings.dns = answer.latency;
+        if (answer.ok) {
+          for (auto& conn : pool) {
+            if (conn.record.pool_key != pool_key || !conn.record.http2) {
+              continue;
+            }
+            auto decision =
+                policy_->evaluate(conn.record, res.hostname, answer.addresses);
+            if (decision.reuse) {
+              chosen = &conn;
+              via_coalescing = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+
+    // --- 3. 421 Misdirected Request -----------------------------------
+    if (chosen != nullptr && via_coalescing) {
+      const bool unreachable = !chosen->service->serves(res.hostname);
+      const bool random_misdirect =
+          options_.misdirected_rate > 0.0 &&
+          page_rng.bernoulli(options_.misdirected_rate);
+      if (unreachable || random_misdirect) {
+        // The optimistic request costs a full round trip before the client
+        // learns it must open its own connection (§2.2).
+        penalty = chosen->service->link.rtt() +
+                  Duration::millis(chosen->service->server_think_ms);
+        entry.status_421 = true;
+        ++race_stats_.misdirected_421;
+        chosen = nullptr;
+      }
+    }
+
+    // --- 4. new connection ---------------------------------------------
+    if (chosen == nullptr) {
+      if (!resolved) {
+        answer = resolver.resolve(res.hostname, dns::Family::kV4, ready);
+        resolved = true;
+        entry.new_dns_query = !answer.from_cache;
+        entry.timings.dns = answer.latency;
+      }
+      if (!answer.ok) {
+        result.entries.push_back(std::move(entry));
+        continue;
+      }
+      // Happy-eyeballs double query rides along with fresh resolutions.
+      if (entry.new_dns_query &&
+          page_rng.bernoulli(options_.happy_eyeballs_extra_dns)) {
+        ++result.extra_dns_queries;
+        ++race_stats_.extra_dns_queries;
+      }
+
+      LiveConnection conn;
+      conn.record.id = next_connection_id_++;
+      conn.record.sni = res.hostname;
+      conn.record.connected_address = answer.addresses.front();
+      conn.record.available_set = answer.addresses;
+      conn.record.http2 = h2_capable;
+      conn.record.pool_key = pool_key;
+      conn.service = service;
+
+      const netsim::LinkParams& link = service->link;
+      const bool quic = res.version == web::HttpVersion::kH3 ||
+                        res.version == web::HttpVersion::kQuic;
+      if (!quic) entry.timings.connect = link.rtt();
+
+      if (res.secure) {
+        tls::CertificateChain chain;
+        chain.leaf = *service->certificate;
+        auto handshake = tls::simulate_handshake(chain, options_.handshake);
+        // The handshake model reports round trips; price them at this
+        // link's RTT. QUIC folds transport setup into the same flight.
+        entry.timings.ssl =
+            link.rtt() * static_cast<double>(handshake.round_trips) +
+            options_.handshake.crypto_cost;
+        if (!handshake.ok) {
+          // Oversized certificate: SSL protocol error, request dies.
+          result.entries.push_back(std::move(entry));
+          continue;
+        }
+        entry.new_tls_connection = true;
+        entry.cert_serial = service->certificate->serial;
+        entry.cert_issuer = service->certificate->issuer;
+        entry.cert_san_count =
+            static_cast<std::int64_t>(service->certificate->san_dns.size());
+        (void)env_.trust_store().validate(*service->certificate, res.hostname,
+                                          ready);
+        conn.record.certificate = *service->certificate;
+        // Speculative duplicate socket (§4.2): costs a handshake, carries
+        // nothing.
+        if (h2_capable &&
+            page_rng.bernoulli(options_.speculative_extra_connection)) {
+          entry.speculative_duplicate = true;
+          ++result.extra_tls_connections;
+          ++race_stats_.extra_tls_connections;
+        }
+      }
+
+      // ORIGIN frame arrives in the server's first flight.
+      h2::Origin initial;
+      initial.scheme = res.secure ? "https" : "http";
+      initial.host = res.hostname;
+      conn.record.origin_set = h2::OriginSet(initial);
+      if (h2_capable && service->origin_frame_enabled) {
+        conn.record.origin_set.apply_origin_frame(
+            service->origin_advertisement);
+      }
+      pool.push_back(std::move(conn));
+      chosen = &pool.back();
+    }
+
+    entry.connection_id = chosen->record.id;
+    entry.server_address = chosen->record.connected_address;
+    if (resolved && answer.ok) entry.dns_answer_set = answer.addresses;
+
+    const netsim::LinkParams& link = service->link;
+    entry.timings.blocked = penalty;
+    entry.timings.send = link.transfer_time(kRequestBytes);
+    entry.timings.wait =
+        link.rtt() + Duration::millis(service->server_think_ms *
+                                      (0.5 + page_rng.uniform_double()));
+    entry.timings.receive = link.transfer_time(res.size_bytes);
+
+    if (!chosen->record.http2) {
+      chosen->busy_until = entry.end();
+    }
+    result.entries.push_back(std::move(entry));
+  }
+  return result;
+}
+
+}  // namespace origin::browser

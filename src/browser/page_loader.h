@@ -1,0 +1,83 @@
+// Analytic page loader: loads a Webpage against an Environment under a
+// chosen coalescing policy and produces the HAR-style timeline the
+// measurement and modeling layers consume.
+//
+// This is the WebPageTest stand-in: it reproduces the request waterfall —
+// dependency-gated dispatch, per-request DNS / TCP / TLS phases, connection
+// pooling with policy-driven coalescing, 421 retries, CORS pool
+// partitioning, and the browser race conditions (§4.2: happy-eyeballs
+// duplicate queries, speculative parallel connections) that make measured
+// DNS and TLS counts diverge.
+//
+// The wire-level counterpart (wire_client.h) drives the same protocol
+// decisions through real HTTP/2 connections over netsim; this loader exists
+// so corpus-scale experiments (300K+ page loads) finish in seconds.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "browser/environment.h"
+#include "browser/policy.h"
+#include "dns/resolver.h"
+#include "netsim/network.h"
+#include "tls/handshake.h"
+#include "util/rng.h"
+#include "web/har.h"
+#include "web/resource.h"
+
+namespace origin::browser {
+
+struct LoaderOptions {
+  std::string policy = "chromium-ip";  // see make_policy()
+  netsim::LinkParams link;
+  tls::HandshakeParams handshake;
+  dns::Resolver::Params resolver;
+  // Race-condition model (§4.2). Probabilities per *new-connection* event:
+  double happy_eyeballs_extra_dns = 0.08;  // parallel AAAA/A double query
+  double speculative_extra_connection = 0.05;  // duplicate socket, unused
+  // Per-request chance the client must fall back after a 421 (stale
+  // coalescing decision, e.g. resource moved off the socket).
+  double misdirected_rate = 0.0;
+  std::uint64_t seed = 1;
+  // New browser session per page (paper method): fresh DNS cache, empty
+  // connection pool.
+  bool fresh_session = true;
+};
+
+class PageLoader {
+ public:
+  PageLoader(Environment& env, LoaderOptions options);
+
+  // Loads one page; returns its timeline. Deterministic given (options.seed,
+  // page content, environment state).
+  web::PageLoad load(const web::Webpage& page);
+
+  // Counters across loads (speculative connections are not HAR entries but
+  // do cost the network real handshakes — §4.2).
+  struct RaceStats {
+    std::uint64_t extra_dns_queries = 0;
+    std::uint64_t extra_tls_connections = 0;
+    std::uint64_t misdirected_421 = 0;
+  };
+  const RaceStats& race_stats() const { return race_stats_; }
+
+ private:
+  struct LiveConnection {
+    ConnectionRecord record;
+    const Service* service = nullptr;
+    // h1 connections serialize requests; busy_until gates reuse.
+    origin::util::SimTime busy_until;
+  };
+
+  Environment& env_;
+  LoaderOptions options_;
+  std::unique_ptr<CoalescingPolicy> policy_;
+  origin::util::Rng rng_;
+  RaceStats race_stats_;
+  std::uint64_t next_connection_id_ = 1;
+};
+
+}  // namespace origin::browser

@@ -1,0 +1,369 @@
+#include "browser/wire_client.h"
+
+#include "server/http2_server.h"
+#include "tls/handshake.h"
+
+namespace origin::browser {
+
+using origin::util::Duration;
+
+WireClient::WireClient(Environment& env, netsim::Network& network,
+                       LoaderOptions options)
+    : env_(env),
+      network_(network),
+      options_(std::move(options)),
+      policy_(make_policy(options_.policy)) {
+  if (policy_ == nullptr) policy_ = std::make_unique<ChromiumIpPolicy>();
+}
+
+void WireClient::load(const web::Webpage& page,
+                      std::function<void(WireLoadResult)> done) {
+  auto state = std::make_shared<LoadState>();
+  state->page = page;
+  state->har.tranco_rank = page.tranco_rank;
+  state->har.base_hostname = page.base_hostname;
+  state->har.entries.resize(page.resources.size());
+  state->outstanding_children.assign(page.resources.size(), 0);
+  state->resolver = std::make_unique<dns::Resolver>(
+      env_.dns(), options_.resolver, resolver_seed_++);
+  state->done = std::move(done);
+  active_.push_back(state);
+
+  for (std::size_t i = 0; i < page.resources.size(); ++i) {
+    auto& entry = state->har.entries[i];
+    entry.resource_index = static_cast<int>(i);
+    entry.hostname = page.resources[i].hostname;
+    entry.content_type = page.resources[i].content_type;
+    entry.mode = page.resources[i].mode;
+    entry.version = page.resources[i].version;
+  }
+  // Root resources (parent < 0) dispatch immediately; children when their
+  // parent completes.
+  for (std::size_t i = 0; i < page.resources.size(); ++i) {
+    if (page.resources[i].parent < 0) {
+      dispatch(state, static_cast<int>(i), false);
+    }
+  }
+  if (page.resources.empty()) {
+    state->result.complete = true;
+    state->finished = true;
+    state->done(state->result);
+  }
+}
+
+void WireClient::dispatch(std::shared_ptr<LoadState> state, int resource_index,
+                          bool after_421) {
+  const web::Resource& res =
+      state->page.resources[static_cast<std::size_t>(resource_index)];
+  auto& entry = state->har.entries[static_cast<std::size_t>(resource_index)];
+  entry.start = network_.simulator().now();
+
+  const std::string pool_key =
+      (res.mode == web::RequestMode::kCorsAnonymous ||
+       res.mode == web::RequestMode::kFetchApi)
+          ? "anon"
+          : "cred";
+
+  // Same-host reuse first; then policy coalescing (skipped when retrying
+  // after a 421 — the client goes straight to a dedicated connection).
+  if (!after_421) {
+    for (auto& conn : state->pool) {
+      if (!conn->alive || conn->record.pool_key != pool_key) continue;
+      // Keep the policy view of the origin set fresh from the live h2
+      // connection (ORIGIN frames may have arrived since the record was
+      // created).
+      conn->record.origin_set = conn->h2->origin_set();
+      if (conn->record.sni == res.hostname) {
+        ++state->result.coalesced_requests;
+        send_request(state, resource_index, conn, true);
+        return;
+      }
+      if (pool_key == "cred" &&
+          policy_->can_decide_without_dns(conn->record, res.hostname) &&
+          policy_->evaluate(conn->record, res.hostname, {}).reuse) {
+        ++state->result.coalesced_requests;
+        send_request(state, resource_index, conn, true);
+        return;
+      }
+    }
+  }
+
+  // Blocking DNS query.
+  auto answer = state->resolver->resolve(res.hostname, dns::Family::kV4,
+                                         network_.simulator().now());
+  entry.new_dns_query = !answer.from_cache;
+  entry.timings.dns = answer.latency;
+  network_.simulator().schedule(answer.latency, [this, state, resource_index,
+                                                 answer, after_421, pool_key]() {
+    const web::Resource& res =
+        state->page.resources[static_cast<std::size_t>(resource_index)];
+    if (!answer.ok) {
+      complete_resource(state, resource_index, false,
+                        "dns failure for " + res.hostname);
+      return;
+    }
+    if (!after_421 && pool_key == "cred") {
+      for (auto& conn : state->pool) {
+        if (!conn->alive || conn->record.pool_key != pool_key) continue;
+        conn->record.origin_set = conn->h2->origin_set();
+        auto decision =
+            policy_->evaluate(conn->record, res.hostname, answer.addresses);
+        if (decision.reuse) {
+          ++state->result.coalesced_requests;
+          send_request(state, resource_index, conn, true);
+          return;
+        }
+      }
+    }
+    open_connection(state, resource_index, answer, after_421);
+  });
+}
+
+void WireClient::open_connection(std::shared_ptr<LoadState> state,
+                                 int resource_index, const dns::Answer& answer,
+                                 bool after_421) {
+  const web::Resource& res =
+      state->page.resources[static_cast<std::size_t>(resource_index)];
+  const Service* service = env_.find_service(res.hostname);
+  const dns::IpAddress address = answer.addresses.front();
+
+  network_.connect(
+      "wire-client", address,
+      [this, state, resource_index, answer, address, service, after_421](
+          origin::util::Result<netsim::TcpEndpoint> endpoint) {
+        const web::Resource& res =
+            state->page.resources[static_cast<std::size_t>(resource_index)];
+        auto& entry =
+            state->har.entries[static_cast<std::size_t>(resource_index)];
+        if (!endpoint.ok()) {
+          complete_resource(state, resource_index, false,
+                            endpoint.error().message);
+          return;
+        }
+        // TLS handshake: validate the service certificate, then price the
+        // handshake RTTs by delaying h2 startup.
+        if (service == nullptr || service->certificate == nullptr) {
+          complete_resource(state, resource_index, false,
+                            "no service for " + res.hostname);
+          return;
+        }
+        tls::CertificateChain chain;
+        chain.leaf = *service->certificate;
+        auto handshake = tls::simulate_handshake(chain, options_.handshake);
+        if (!handshake.ok) {
+          complete_resource(state, resource_index, false,
+                            "ssl protocol error (oversized certificate)");
+          return;
+        }
+        auto outcome = env_.trust_store().validate(
+            *service->certificate, res.hostname, network_.simulator().now());
+        if (outcome != tls::TrustStore::Outcome::kOk) {
+          complete_resource(state, resource_index, false,
+                            std::string("certificate validation failed: ") +
+                                tls::TrustStore::outcome_name(outcome));
+          return;
+        }
+        entry.new_tls_connection = true;
+        entry.cert_serial = service->certificate->serial;
+        entry.cert_issuer = service->certificate->issuer;
+        entry.cert_san_count =
+            static_cast<std::int64_t>(service->certificate->san_dns.size());
+        ++state->result.connections_opened;
+
+        auto conn = std::make_shared<LiveConnection>();
+        conn->service = service;
+        conn->endpoint = *endpoint;
+        conn->record.id = next_connection_id_++;
+        conn->record.sni = res.hostname;
+        conn->record.connected_address = address;
+        conn->record.available_set = answer.addresses;
+        conn->record.certificate = *service->certificate;
+        conn->record.http2 = true;
+        conn->record.pool_key =
+            (res.mode == web::RequestMode::kCorsAnonymous ||
+             res.mode == web::RequestMode::kFetchApi)
+                ? "anon"
+                : "cred";
+        h2::Origin initial;
+        initial.host = res.hostname;
+        conn->h2 = std::make_shared<h2::Connection>(
+            h2::Connection::Role::kClient, initial);
+        conn->record.origin_set = conn->h2->origin_set();
+
+        h2::ConnectionCallbacks callbacks;
+        std::weak_ptr<LiveConnection> weak_conn = conn;
+        auto weak_state = std::weak_ptr<LoadState>(state);
+        callbacks.on_headers = [this, weak_state, weak_conn](
+                                   std::uint32_t stream_id,
+                                   const hpack::HeaderList& headers,
+                                   bool end_stream) {
+          auto state = weak_state.lock();
+          auto conn = weak_conn.lock();
+          if (!state || !conn) return;
+          auto it = conn->stream_to_resource.find(stream_id);
+          if (it == conn->stream_to_resource.end()) return;
+          const int resource_index = it->second;
+          const std::string status =
+              server::header_value(headers, ":status");
+          auto& entry =
+              state->har.entries[static_cast<std::size_t>(resource_index)];
+          if (status == "421") {
+            conn->stream_to_resource.erase(it);
+            if (entry.status_421) {
+              // Already retried once on a dedicated connection and the
+              // deployment still cannot serve the authority: terminal.
+              complete_resource(state, resource_index, false,
+                                "421 on dedicated connection");
+              return;
+            }
+            // Misdirected: retry on a dedicated connection (§2.2).
+            entry.status_421 = true;
+            ++state->result.retries_after_421;
+            dispatch(state, resource_index, /*after_421=*/true);
+            return;
+          }
+          if (end_stream) {
+            conn->stream_to_resource.erase(it);
+            complete_resource(state, resource_index, status == "200",
+                              status == "200" ? "" : "status " + status);
+          }
+        };
+        callbacks.on_data = [this, weak_state, weak_conn](
+                                std::uint32_t stream_id,
+                                std::span<const std::uint8_t>,
+                                bool end_stream) {
+          auto state = weak_state.lock();
+          auto conn = weak_conn.lock();
+          if (!state || !conn || !end_stream) return;
+          auto it = conn->stream_to_resource.find(stream_id);
+          if (it == conn->stream_to_resource.end()) return;
+          const int resource_index = it->second;
+          conn->stream_to_resource.erase(it);
+          complete_resource(state, resource_index, true, "");
+        };
+        conn->h2->set_callbacks(std::move(callbacks));
+
+        conn->endpoint.set_on_receive(
+            [conn](std::span<const std::uint8_t> bytes) {
+              (void)conn->h2->receive(bytes);
+              if (conn->h2->has_output() && conn->endpoint.open()) {
+                conn->endpoint.send(conn->h2->take_output());
+              }
+            });
+        conn->endpoint.set_on_close([this, weak_state, weak_conn](
+                                        const std::string& reason) {
+          auto state = weak_state.lock();
+          auto conn = weak_conn.lock();
+          if (!state || !conn) return;
+          conn->alive = false;
+          ++state->result.connections_torn_down;
+          // Every in-flight request on this connection fails (§6.7: the
+          // user sees broken page loads).
+          auto pending = conn->stream_to_resource;
+          conn->stream_to_resource.clear();
+          for (const auto& [stream, resource_index] : pending) {
+            complete_resource(state, resource_index, false,
+                              "connection torn down: " + reason);
+          }
+        });
+
+        state->pool.push_back(conn);
+        // Delay the first request by the handshake cost beyond the TCP
+        // round trip netsim already charged.
+        auto delay = options_.link.rtt() *
+                         static_cast<double>(handshake.round_trips) +
+                     options_.handshake.crypto_cost;
+        auto& handshake_entry =
+            state->har.entries[static_cast<std::size_t>(resource_index)];
+        handshake_entry.timings.connect = options_.link.rtt();
+        handshake_entry.timings.ssl = delay;
+        network_.simulator().schedule(
+            delay, [this, state, resource_index, conn, after_421]() {
+              (void)after_421;
+              if (!conn->alive) {
+                // Torn down (e.g. by a §6.7 middlebox) before the first
+                // request could be sent.
+                complete_resource(state, resource_index, false,
+                                  "connection torn down during handshake");
+                return;
+              }
+              send_request(state, resource_index, conn, false);
+            });
+      });
+}
+
+void WireClient::send_request(std::shared_ptr<LoadState> state,
+                              int resource_index,
+                              std::shared_ptr<LiveConnection> conn,
+                              bool coalesced) {
+  (void)coalesced;
+  const web::Resource& res =
+      state->page.resources[static_cast<std::size_t>(resource_index)];
+  auto& entry = state->har.entries[static_cast<std::size_t>(resource_index)];
+  entry.connection_id = conn->record.id;
+  entry.server_address = conn->record.connected_address;
+  entry.asn = conn->service != nullptr ? conn->service->asn : 0;
+
+  if (!conn->alive || !conn->endpoint.open()) {
+    complete_resource(state, resource_index, false,
+                      "connection closed before request");
+    return;
+  }
+  auto stream_id = conn->h2->submit_request(
+      server::make_get_request(res.hostname, res.path), true);
+  if (!stream_id.ok()) {
+    complete_resource(state, resource_index, false, stream_id.error().message);
+    return;
+  }
+  conn->stream_to_resource[*stream_id] = resource_index;
+  if (conn->h2->has_output() && conn->endpoint.open()) {
+    conn->endpoint.send(conn->h2->take_output());
+  }
+}
+
+void WireClient::complete_resource(std::shared_ptr<LoadState> state,
+                                   int resource_index, bool success,
+                                   const std::string& error) {
+  auto& entry = state->har.entries[static_cast<std::size_t>(resource_index)];
+  // Receive phase ends now; fold total elapsed into the waterfall.
+  auto elapsed = network_.simulator().now() - entry.start;
+  auto accounted = entry.timings.dns + entry.timings.connect + entry.timings.ssl;
+  if (elapsed > accounted) {
+    entry.timings.wait = elapsed - accounted;
+  }
+  if (!success) {
+    state->har.success = false;
+    state->result.errors.push_back(error);
+  }
+  ++state->completed;
+  // Children become dispatchable after their parent's CPU-discovery delay.
+  for (std::size_t i = 0; i < state->page.resources.size(); ++i) {
+    const web::Resource& res = state->page.resources[i];
+    if (res.parent == resource_index) {
+      const int child = static_cast<int>(i);
+      if (success) {
+        network_.simulator().schedule(
+            Duration::millis(res.discovery_cpu_ms),
+            [this, state, child]() { dispatch(state, child, false); });
+      } else {
+        // Parent failed: the child is never discovered.
+        complete_resource(state, child, false, "parent failed");
+      }
+    }
+  }
+  maybe_finish(state);
+}
+
+void WireClient::maybe_finish(std::shared_ptr<LoadState> state) {
+  if (state->finished ||
+      state->completed < state->page.resources.size()) {
+    return;
+  }
+  state->finished = true;
+  state->result.complete = true;
+  state->result.har = state->har;
+  state->done(state->result);
+  std::erase(active_, state);
+}
+
+}  // namespace origin::browser

@@ -1,0 +1,92 @@
+// Wire-level page loader: the same coalescing decisions as PageLoader, but
+// executed over real HTTP/2 connections (frames, HPACK, flow control,
+// ORIGIN frames) across the simulated network.
+//
+// Every protocol artifact is real here: the client opens TCP connections
+// through netsim, performs simulated TLS handshakes validated against the
+// trust store, receives the server's ORIGIN frame on stream 0, consults its
+// coalescing policy before every subresource, retries on 421, and survives
+// (or doesn't — §6.7) middlebox interference. Used by tests, examples, and
+// the middlebox ablation; the analytic PageLoader covers corpus scale.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "browser/environment.h"
+#include "browser/page_loader.h"
+#include "browser/policy.h"
+#include "dns/resolver.h"
+#include "h2/connection.h"
+#include "netsim/network.h"
+#include "web/har.h"
+#include "web/resource.h"
+
+namespace origin::browser {
+
+struct WireLoadResult {
+  web::PageLoad har;
+  std::size_t connections_opened = 0;
+  std::size_t coalesced_requests = 0;
+  std::size_t retries_after_421 = 0;
+  std::size_t connections_torn_down = 0;
+  bool complete = false;  // every resource got a terminal outcome
+  std::vector<std::string> errors;
+};
+
+class WireClient {
+ public:
+  WireClient(Environment& env, netsim::Network& network, LoaderOptions options);
+
+  // Starts an asynchronous load; `done` fires on the simulator when every
+  // resource has completed or failed. Run the simulator to completion.
+  void load(const web::Webpage& page, std::function<void(WireLoadResult)> done);
+
+ private:
+  struct LiveConnection {
+    std::shared_ptr<h2::Connection> h2;
+    netsim::TcpEndpoint endpoint;
+    ConnectionRecord record;
+    const Service* service = nullptr;
+    std::map<std::uint32_t, int> stream_to_resource;
+    bool alive = true;
+  };
+
+  struct LoadState {
+    web::Webpage page;  // owned copy: loads outlive the caller's argument
+    web::PageLoad har;
+    std::vector<int> outstanding_children;  // per resource: children count
+    std::size_t completed = 0;
+    std::vector<std::shared_ptr<LiveConnection>> pool;
+    std::unique_ptr<dns::Resolver> resolver;
+    WireLoadResult result;
+    std::function<void(WireLoadResult)> done;
+    bool finished = false;
+  };
+
+  void dispatch(std::shared_ptr<LoadState> state, int resource_index,
+                bool after_421);
+  void send_request(std::shared_ptr<LoadState> state, int resource_index,
+                    std::shared_ptr<LiveConnection> conn, bool coalesced);
+  void open_connection(std::shared_ptr<LoadState> state, int resource_index,
+                       const dns::Answer& answer, bool after_421);
+  void complete_resource(std::shared_ptr<LoadState> state, int resource_index,
+                         bool success, const std::string& error);
+  void maybe_finish(std::shared_ptr<LoadState> state);
+
+  Environment& env_;
+  netsim::Network& network_;
+  LoaderOptions options_;
+  std::unique_ptr<CoalescingPolicy> policy_;
+  // Keeps in-flight loads alive between simulator events (endpoint
+  // callbacks hold only weak references to avoid cycles).
+  std::vector<std::shared_ptr<LoadState>> active_;
+  std::uint64_t next_connection_id_ = 1;
+  std::uint64_t resolver_seed_ = 0x5eed;
+};
+
+}  // namespace origin::browser

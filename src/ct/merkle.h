@@ -1,0 +1,65 @@
+// RFC 6962-style append-only Merkle tree.
+//
+// Leaf hash = H(0x00 || leaf bytes); interior = H(0x01 || left || right),
+// over the largest power-of-two split RFC 6962 §2.1 prescribes. Hashes are
+// 64-bit FNV digests — structure-faithful, not cryptographic, matching the
+// repository-wide substitution rule.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace origin::ct {
+
+using Digest = std::uint64_t;
+
+Digest hash_leaf(std::string_view leaf);
+Digest hash_interior(Digest left, Digest right);
+
+class MerkleTree {
+ public:
+  // Appends a leaf; returns its index.
+  std::uint64_t append(std::string_view leaf);
+
+  std::uint64_t size() const { return leaves_.size(); }
+  // Root of the whole tree (0 for the empty tree, per convention here).
+  Digest root() const;
+  // Root of the first n leaves (historic tree head).
+  Digest root_at(std::uint64_t n) const;
+
+  // RFC 6962 §2.1.1 inclusion proof: the audit path for leaf `index` in the
+  // tree of size `tree_size`.
+  origin::util::Result<std::vector<Digest>> inclusion_proof(
+      std::uint64_t index, std::uint64_t tree_size) const;
+
+  // Verifies an audit path against a root.
+  static bool verify_inclusion(Digest leaf_hash, std::uint64_t index,
+                               std::uint64_t tree_size,
+                               const std::vector<Digest>& path, Digest root);
+
+  // RFC 6962 §2.1.2 consistency proof between two historic sizes.
+  origin::util::Result<std::vector<Digest>> consistency_proof(
+      std::uint64_t old_size, std::uint64_t new_size) const;
+
+  // Verifies that the tree of `new_size` with `new_root` is an append-only
+  // extension of the tree of `old_size` with `old_root`.
+  static bool verify_consistency(std::uint64_t old_size, std::uint64_t new_size,
+                                 Digest old_root, Digest new_root,
+                                 const std::vector<Digest>& proof);
+
+ private:
+  Digest subtree_root(std::uint64_t begin, std::uint64_t end) const;
+  void subtree_inclusion(std::uint64_t index, std::uint64_t begin,
+                         std::uint64_t end, std::vector<Digest>& path) const;
+  void subtree_consistency(std::uint64_t old_size, std::uint64_t begin,
+                           std::uint64_t end, bool old_is_complete,
+                           std::vector<Digest>& proof) const;
+
+  std::vector<Digest> leaf_hashes_;
+  std::vector<std::string> leaves_;
+};
+
+}  // namespace origin::ct

@@ -1,0 +1,21 @@
+#include "dataset/collector.h"
+
+namespace origin::dataset {
+
+std::size_t collect(Corpus& corpus, const CollectOptions& options,
+                    const PageSink& sink) {
+  browser::PageLoader loader(corpus.env(), options.loader);
+  std::size_t loaded = 0;
+  for (std::size_t i = 0; i < corpus.sites().size(); ++i) {
+    const SiteInfo& site = corpus.sites()[i];
+    if (!site.crawl_succeeded) continue;
+    if (options.max_sites != 0 && loaded >= options.max_sites) break;
+    web::Webpage page = corpus.page_for_site(i);
+    web::PageLoad load = loader.load(page);
+    sink(site, load);
+    ++loaded;
+  }
+  return loaded;
+}
+
+}  // namespace origin::dataset

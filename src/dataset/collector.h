@@ -1,0 +1,29 @@
+// Streaming dataset collection: the WebPageTest stand-in at corpus scale.
+//
+// Loads every successfully-crawled site's page with the analytic loader
+// (Chrome v88-equivalent policy: chromium-ip) and hands each PageLoad to a
+// sink. Nothing is retained, so 300K-site runs stay memory-bounded.
+#pragma once
+
+#include <functional>
+
+#include "browser/page_loader.h"
+#include "dataset/generator.h"
+#include "web/har.h"
+
+namespace origin::dataset {
+
+struct CollectOptions {
+  browser::LoaderOptions loader;  // policy defaults to chromium-ip
+  // Load at most this many (successful) sites; 0 = all.
+  std::size_t max_sites = 0;
+};
+
+using PageSink =
+    std::function<void(const SiteInfo& site, const web::PageLoad& load)>;
+
+// Returns the number of pages loaded.
+std::size_t collect(Corpus& corpus, const CollectOptions& options,
+                    const PageSink& sink);
+
+}  // namespace origin::dataset

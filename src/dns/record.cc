@@ -1,0 +1,29 @@
+#include "dns/record.h"
+
+#include <cstdio>
+
+namespace origin::dns {
+
+std::string IpAddress::to_string() const {
+  char buf[64];
+  if (family == Family::kV4) {
+    auto v = static_cast<std::uint32_t>(value);
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", v >> 24, (v >> 16) & 0xff,
+                  (v >> 8) & 0xff, v & 0xff);
+  } else {
+    std::snprintf(buf, sizeof(buf), "2001:db8::%llx",
+                  static_cast<unsigned long long>(value));
+  }
+  return buf;
+}
+
+const char* record_type_name(RecordType type) {
+  switch (type) {
+    case RecordType::kA: return "A";
+    case RecordType::kAAAA: return "AAAA";
+    case RecordType::kCNAME: return "CNAME";
+  }
+  return "?";
+}
+
+}  // namespace origin::dns

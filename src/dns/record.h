@@ -1,0 +1,45 @@
+// DNS record model. IPv4/IPv6 addresses are opaque identifiers in the
+// simulation; what matters to coalescing is equality between the address a
+// connection was opened on and addresses returned for later queries
+// (paper §2.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace origin::dns {
+
+enum class Family : std::uint8_t { kV4, kV6 };
+
+struct IpAddress {
+  Family family = Family::kV4;
+  std::uint64_t value = 0;
+
+  static IpAddress v4(std::uint32_t value) {
+    return IpAddress{Family::kV4, value};
+  }
+  static IpAddress v6(std::uint64_t value) {
+    return IpAddress{Family::kV6, value};
+  }
+
+  std::string to_string() const;
+  bool operator==(const IpAddress&) const = default;
+  auto operator<=>(const IpAddress&) const = default;
+};
+
+enum class RecordType : std::uint8_t { kA, kAAAA, kCNAME };
+
+const char* record_type_name(RecordType type);
+
+struct ResourceRecord {
+  std::string name;
+  RecordType type = RecordType::kA;
+  std::uint32_t ttl_seconds = 300;
+  IpAddress address;   // A / AAAA
+  std::string target;  // CNAME
+
+  bool operator==(const ResourceRecord&) const = default;
+};
+
+}  // namespace origin::dns

@@ -1,0 +1,66 @@
+#include "dns/resolver.h"
+
+#include <algorithm>
+
+namespace origin::dns {
+
+Answer Resolver::resolve(const std::string& name, Family family,
+                         origin::util::SimTime now) {
+  ++stats_.lookups;
+  Answer answer;
+
+  const std::string key = cache_key(name, family);
+  auto it = cache_.find(key);
+  if (it != cache_.end() && now < it->second.expires) {
+    ++stats_.cache_hits;
+    answer.ok = !it->second.addresses.empty();
+    answer.addresses = it->second.addresses;
+    answer.canonical_name = it->second.canonical_name;
+    answer.ttl_seconds = it->second.ttl_seconds;
+    answer.from_cache = true;
+    answer.latency = params_.cache_hit_latency;
+    return answer;
+  }
+
+  ++stats_.recursive_queries;
+  if (params_.transport == Transport::kDo53) ++stats_.plaintext_exposures;
+
+  const RecordType want =
+      family == Family::kV4 ? RecordType::kA : RecordType::kAAAA;
+  std::string current = name;
+  std::uint32_t min_ttl = 0xffffffffu;
+  std::vector<IpAddress> addresses;
+  for (int depth = 0; depth < params_.max_cname_depth; ++depth) {
+    auto records = upstream_.query(current, want);
+    if (records.empty()) break;
+    if (records[0].type == RecordType::kCNAME) {
+      min_ttl = std::min(min_ttl, records[0].ttl_seconds);
+      current = records[0].target;
+      continue;
+    }
+    for (const auto& record : records) {
+      addresses.push_back(record.address);
+      min_ttl = std::min(min_ttl, record.ttl_seconds);
+    }
+    break;
+  }
+
+  answer.ok = !addresses.empty();
+  answer.addresses = std::move(addresses);
+  answer.canonical_name = current;
+  answer.ttl_seconds = answer.ok ? min_ttl : 30;  // negative-cache 30s
+  answer.latency =
+      params_.recursive_base * rng_.lognormal(0.0, params_.jitter_sigma);
+  if (!answer.ok) ++stats_.nxdomain;
+
+  CacheEntry entry;
+  entry.addresses = answer.addresses;
+  entry.canonical_name = answer.canonical_name;
+  entry.ttl_seconds = answer.ttl_seconds;
+  entry.expires =
+      now + origin::util::Duration::seconds(static_cast<double>(answer.ttl_seconds));
+  cache_[cache_key(name, family)] = std::move(entry);
+  return answer;
+}
+
+}  // namespace origin::dns

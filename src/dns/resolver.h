@@ -1,0 +1,83 @@
+// Caching stub resolver with CNAME chasing and a latency model.
+//
+// Every resolution a browser performs is one of the paper's "render-
+// blocking DNS queries"; the resolver counts lookups and cache hits so the
+// measurement layer can reproduce the DNS columns of Table 1 and Figure 3.
+// Plaintext (Do53) vs encrypted (DoH/DoT) transport matters for the privacy
+// accounting in §6.2, so queries record their transport.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dns/record.h"
+#include "dns/zone.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace origin::dns {
+
+enum class Transport : std::uint8_t { kDo53, kDoT, kDoH };
+
+struct ResolverStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t recursive_queries = 0;
+  std::uint64_t nxdomain = 0;
+  // Queries whose name was visible in cleartext on the wire (§6.2).
+  std::uint64_t plaintext_exposures = 0;
+};
+
+struct Answer {
+  bool ok = false;
+  std::vector<IpAddress> addresses;
+  std::string canonical_name;
+  std::uint32_t ttl_seconds = 0;
+  bool from_cache = false;
+  origin::util::Duration latency;
+};
+
+class Resolver {
+ public:
+  struct Params {
+    origin::util::Duration cache_hit_latency = origin::util::Duration::micros(100);
+    // Recursive resolution latency: base + lognormal jitter.
+    origin::util::Duration recursive_base = origin::util::Duration::millis(12);
+    double jitter_sigma = 0.6;
+    Transport transport = Transport::kDo53;
+    int max_cname_depth = 8;
+  };
+
+  Resolver(AuthoritativeDns& upstream, Params params, std::uint64_t seed)
+      : upstream_(upstream), params_(params), rng_(seed) {}
+
+  // Resolves `name` to addresses of `family` at simulated time `now`.
+  Answer resolve(const std::string& name, Family family,
+                 origin::util::SimTime now);
+
+  void flush_cache() { cache_.clear(); }
+  const ResolverStats& stats() const { return stats_; }
+  Transport transport() const { return params_.transport; }
+
+ private:
+  struct CacheEntry {
+    std::vector<IpAddress> addresses;
+    std::string canonical_name;
+    std::uint32_t ttl_seconds = 0;
+    origin::util::SimTime expires;
+  };
+
+  std::string cache_key(const std::string& name, Family family) const {
+    return name + (family == Family::kV4 ? "|4" : "|6");
+  }
+
+  AuthoritativeDns& upstream_;
+  Params params_;
+  origin::util::Rng rng_;
+  std::map<std::string, CacheEntry> cache_;
+  ResolverStats stats_;
+};
+
+}  // namespace origin::dns

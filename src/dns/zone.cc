@@ -1,0 +1,121 @@
+#include "dns/zone.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace origin::dns {
+
+void Zone::add_a(const std::string& name, IpAddress address,
+                 std::uint32_t ttl_seconds) {
+  ResourceRecord record;
+  record.name = name;
+  record.type = address.family == Family::kV4 ? RecordType::kA
+                                              : RecordType::kAAAA;
+  record.ttl_seconds = ttl_seconds;
+  record.address = address;
+  names_[name].records.push_back(std::move(record));
+}
+
+void Zone::add_cname(const std::string& name, const std::string& target,
+                     std::uint32_t ttl_seconds) {
+  ResourceRecord record;
+  record.name = name;
+  record.type = RecordType::kCNAME;
+  record.ttl_seconds = ttl_seconds;
+  record.target = target;
+  names_[name].records.push_back(std::move(record));
+}
+
+void Zone::set_policy(const std::string& name, AnswerPolicy policy) {
+  names_[name].policy = policy;
+}
+
+void Zone::clear_addresses(const std::string& name) {
+  auto it = names_.find(name);
+  if (it == names_.end()) return;
+  auto& records = it->second.records;
+  records.erase(std::remove_if(records.begin(), records.end(),
+                               [](const ResourceRecord& r) {
+                                 return r.type != RecordType::kCNAME;
+                               }),
+                records.end());
+}
+
+bool Zone::authoritative_for(const std::string& name) const {
+  return name == apex_ || origin::util::ends_with(name, "." + apex_);
+}
+
+std::vector<ResourceRecord> Zone::query(const std::string& name,
+                                        RecordType type) {
+  auto it = names_.find(name);
+  if (it == names_.end()) return {};
+  NameEntry& entry = it->second;
+  // CNAMEs answer any type query for the name.
+  std::vector<ResourceRecord> cnames;
+  std::vector<ResourceRecord> matches;
+  for (const auto& record : entry.records) {
+    if (record.type == RecordType::kCNAME) {
+      cnames.push_back(record);
+    } else if (record.type == type) {
+      matches.push_back(record);
+    }
+  }
+  if (!cnames.empty()) return cnames;
+  if (matches.empty()) return {};
+  switch (entry.policy) {
+    case AnswerPolicy::kAllFixed:
+      break;
+    case AnswerPolicy::kRoundRobin:
+      std::rotate(matches.begin(),
+                  matches.begin() +
+                      static_cast<std::ptrdiff_t>(entry.rotation % matches.size()),
+                  matches.end());
+      entry.rotation++;
+      break;
+    case AnswerPolicy::kSingle: {
+      ResourceRecord chosen = matches[entry.rotation % matches.size()];
+      entry.rotation++;
+      matches = {std::move(chosen)};
+      break;
+    }
+    case AnswerPolicy::kSubset: {
+      std::vector<ResourceRecord> window;
+      window.push_back(matches[entry.rotation % matches.size()]);
+      if (matches.size() > 1) {
+        window.push_back(matches[(entry.rotation + 1) % matches.size()]);
+      }
+      entry.rotation++;
+      matches = std::move(window);
+      break;
+    }
+  }
+  return matches;
+}
+
+Zone& AuthoritativeDns::add_zone(const std::string& apex) {
+  auto [it, inserted] = zones_.emplace(apex, Zone(apex));
+  return it->second;
+}
+
+Zone* AuthoritativeDns::find_zone_for(const std::string& name) {
+  Zone* best = nullptr;
+  for (auto& [apex, zone] : zones_) {
+    if (zone.authoritative_for(name)) {
+      // Longest-suffix match wins ("img.cdn.example.com" prefers the
+      // "cdn.example.com" zone over "example.com").
+      if (best == nullptr || apex.size() > best->apex().size()) best = &zone;
+    }
+  }
+  return best;
+}
+
+std::vector<ResourceRecord> AuthoritativeDns::query(const std::string& name,
+                                                    RecordType type) {
+  ++queries_;
+  Zone* zone = find_zone_for(name);
+  if (zone == nullptr) return {};
+  return zone->query(name, type);
+}
+
+}  // namespace origin::dns

@@ -1,0 +1,76 @@
+// Authoritative DNS: zone data plus answer-set policies.
+//
+// The paper's browser analysis (§2.3) hinges on servers returning *sets* of
+// addresses, possibly rotated between queries for load balancing (RFC
+// 1794): Chromium keeps only the connected address, Firefox also caches the
+// available set and exploits transitivity. The rotation policy here lets
+// experiments reproduce exactly those divergent outcomes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dns/record.h"
+#include "util/rng.h"
+
+namespace origin::dns {
+
+enum class AnswerPolicy : std::uint8_t {
+  kAllFixed,    // return all addresses, fixed order
+  kRoundRobin,  // return all addresses, rotated per query
+  kSingle,      // return one address, rotated per query (strict LB)
+  // Return a 2-address window that slides by one per query — the paper's
+  // §2.3 example: the page gets {A, B}, the subresource gets {B, C}.
+  // Chromium (connected-set) loses the transitive overlap; Firefox keeps it.
+  kSubset,
+};
+
+class Zone {
+ public:
+  explicit Zone(std::string apex) : apex_(std::move(apex)) {}
+
+  const std::string& apex() const { return apex_; }
+
+  void add_a(const std::string& name, IpAddress address,
+             std::uint32_t ttl_seconds = 300);
+  void add_cname(const std::string& name, const std::string& target,
+                 std::uint32_t ttl_seconds = 300);
+  void set_policy(const std::string& name, AnswerPolicy policy);
+
+  // Removes all address records for `name` (re-pointing a domain, §5.3
+  // "DNS changes were undone").
+  void clear_addresses(const std::string& name);
+
+  bool authoritative_for(const std::string& name) const;
+
+  // Answers a query without CNAME chasing (the resolver does that).
+  std::vector<ResourceRecord> query(const std::string& name, RecordType type);
+
+ private:
+  struct NameEntry {
+    std::vector<ResourceRecord> records;
+    AnswerPolicy policy = AnswerPolicy::kAllFixed;
+    std::size_t rotation = 0;
+  };
+
+  std::string apex_;
+  std::map<std::string, NameEntry> names_;
+};
+
+// The set of zones a recursive resolver can reach.
+class AuthoritativeDns {
+ public:
+  Zone& add_zone(const std::string& apex);
+  Zone* find_zone_for(const std::string& name);
+
+  std::uint64_t query_count() const { return queries_; }
+  std::vector<ResourceRecord> query(const std::string& name, RecordType type);
+
+ private:
+  std::map<std::string, Zone> zones_;  // keyed by apex
+  std::uint64_t queries_ = 0;
+};
+
+}  // namespace origin::dns

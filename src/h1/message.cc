@@ -1,0 +1,217 @@
+#include "h1/message.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace origin::h1 {
+
+namespace {
+
+using origin::util::make_error;
+using origin::util::Result;
+using origin::util::Status;
+
+std::string trim(std::string_view s) {
+  std::size_t begin = 0, end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
+  return std::string(s.substr(begin, end - begin));
+}
+
+bool header_keep_alive(const std::map<std::string, std::string>& headers,
+                       const std::string& version) {
+  auto it = headers.find("connection");
+  if (it != headers.end()) {
+    const std::string value = origin::util::to_lower(it->second);
+    if (value.find("close") != std::string::npos) return false;
+    if (value.find("keep-alive") != std::string::npos) return true;
+  }
+  // HTTP/1.1 defaults to persistent; 1.0 to close.
+  return version == "HTTP/1.1";
+}
+
+void serialize_common(std::string& out,
+                      const std::map<std::string, std::string>& headers,
+                      const std::string& body) {
+  const bool chunked = headers.count("transfer-encoding") > 0;
+  bool wrote_length = false;
+  for (const auto& [name, value] : headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+    if (name == "content-length") wrote_length = true;
+  }
+  if (!chunked && !wrote_length && !body.empty()) {
+    out += "content-length: " + std::to_string(body.size()) + "\r\n";
+  }
+  out += "\r\n";
+  if (chunked) {
+    if (!body.empty()) {
+      char size_line[32];
+      std::snprintf(size_line, sizeof(size_line), "%zx\r\n", body.size());
+      out += size_line;
+      out += body;
+      out += "\r\n";
+    }
+    out += "0\r\n\r\n";
+  } else {
+    out += body;
+  }
+}
+
+}  // namespace
+
+std::string Request::host() const {
+  auto it = headers.find("host");
+  return it == headers.end() ? "" : it->second;
+}
+
+bool Request::keep_alive() const { return header_keep_alive(headers, version); }
+bool Response::keep_alive() const { return header_keep_alive(headers, version); }
+
+std::string serialize(const Request& request) {
+  std::string out =
+      request.method + " " + request.target + " " + request.version + "\r\n";
+  serialize_common(out, request.headers, request.body);
+  return out;
+}
+
+std::string serialize(const Response& response) {
+  std::string out = response.version + " " + std::to_string(response.status) +
+                    " " + response.reason + "\r\n";
+  serialize_common(out, response.headers, response.body);
+  return out;
+}
+
+template <typename Message>
+Status MessageParser<Message>::parse_head(std::string_view head, Message& out) {
+  out = Message{};
+  const auto lines = origin::util::split(std::string(head), '\n');
+  if (lines.empty()) return make_error("h1: empty head");
+  // Start line (strip the trailing \r).
+  std::string start = lines[0];
+  if (!start.empty() && start.back() == '\r') start.pop_back();
+  const auto parts = origin::util::split(start, ' ');
+  if constexpr (std::is_same_v<Message, Request>) {
+    if (parts.size() != 3) return make_error("h1: bad request line");
+    out.method = parts[0];
+    out.target = parts[1];
+    out.version = parts[2];
+    if (out.version != "HTTP/1.1" && out.version != "HTTP/1.0") {
+      return make_error("h1: unsupported version " + out.version);
+    }
+  } else {
+    if (parts.size() < 2) return make_error("h1: bad status line");
+    out.version = parts[0];
+    out.status = std::atoi(parts[1].c_str());
+    if (out.status < 100 || out.status > 599) {
+      return make_error("h1: bad status code");
+    }
+    out.reason = parts.size() > 2 ? parts[2] : "";
+    for (std::size_t i = 3; i < parts.size(); ++i) out.reason += " " + parts[i];
+  }
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    std::string line = lines[i];
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) return make_error("h1: bad header line");
+    out.headers[origin::util::to_lower(trim(line.substr(0, colon)))] =
+        trim(line.substr(colon + 1));
+  }
+  return {};
+}
+
+template <typename Message>
+Result<std::vector<Message>> MessageParser<Message>::feed(
+    std::string_view bytes) {
+  if (!ok_) return make_error("h1: parser poisoned");
+  buffer_.append(bytes);
+  std::vector<Message> complete;
+
+  auto fail = [&](const std::string& message) -> Result<std::vector<Message>> {
+    ok_ = false;
+    return make_error(message);
+  };
+
+  for (;;) {
+    switch (state_) {
+      case State::kHeaders: {
+        const auto end = buffer_.find("\r\n\r\n");
+        if (end == std::string::npos) return complete;
+        if (auto status = parse_head(
+                std::string_view(buffer_).substr(0, end + 2), current_);
+            !status.ok()) {
+          return fail(status.error().message);
+        }
+        buffer_.erase(0, end + 4);
+        const auto& headers = current_.headers;
+        if (auto te = headers.find("transfer-encoding");
+            te != headers.end() &&
+            origin::util::to_lower(te->second).find("chunked") !=
+                std::string::npos) {
+          state_ = State::kChunkSize;
+        } else if (auto cl = headers.find("content-length");
+                   cl != headers.end()) {
+          body_remaining_ =
+              static_cast<std::size_t>(std::strtoull(cl->second.c_str(), nullptr, 10));
+          state_ = body_remaining_ > 0 ? State::kBody : State::kHeaders;
+          if (body_remaining_ == 0) complete.push_back(std::move(current_));
+        } else {
+          // No body framing: message ends at the head (GET requests and
+          // bodyless responses in this codebase).
+          complete.push_back(std::move(current_));
+        }
+        break;
+      }
+      case State::kBody: {
+        const std::size_t take = std::min(body_remaining_, buffer_.size());
+        current_.body.append(buffer_, 0, take);
+        buffer_.erase(0, take);
+        body_remaining_ -= take;
+        if (body_remaining_ > 0) return complete;
+        state_ = State::kHeaders;
+        complete.push_back(std::move(current_));
+        break;
+      }
+      case State::kChunkSize: {
+        const auto end = buffer_.find("\r\n");
+        if (end == std::string::npos) return complete;
+        chunk_remaining_ = static_cast<std::size_t>(
+            std::strtoull(buffer_.substr(0, end).c_str(), nullptr, 16));
+        buffer_.erase(0, end + 2);
+        state_ = chunk_remaining_ > 0 ? State::kChunkData : State::kChunkTrailer;
+        break;
+      }
+      case State::kChunkData: {
+        // Chunk data plus its trailing CRLF.
+        if (buffer_.size() < chunk_remaining_ + 2) return complete;
+        current_.body.append(buffer_, 0, chunk_remaining_);
+        if (buffer_[chunk_remaining_] != '\r' ||
+            buffer_[chunk_remaining_ + 1] != '\n') {
+          return fail("h1: chunk missing CRLF");
+        }
+        buffer_.erase(0, chunk_remaining_ + 2);
+        state_ = State::kChunkSize;
+        break;
+      }
+      case State::kChunkTrailer: {
+        const auto end = buffer_.find("\r\n");
+        if (end == std::string::npos) return complete;
+        if (end != 0) return fail("h1: trailers unsupported");
+        buffer_.erase(0, 2);
+        state_ = State::kHeaders;
+        complete.push_back(std::move(current_));
+        break;
+      }
+    }
+  }
+}
+
+template class MessageParser<Request>;
+template class MessageParser<Response>;
+
+}  // namespace origin::h1

@@ -1,0 +1,75 @@
+// HTTP/1.x message codec.
+//
+// The sharding-era substrate the paper's story begins with (§1–2): one
+// request at a time per connection, keep-alive by default in 1.1, bodies
+// delimited by Content-Length or chunked transfer coding. The parser is
+// incremental so it runs over netsim byte streams.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace origin::h1 {
+
+struct Request {
+  std::string method = "GET";
+  std::string target = "/";
+  std::string version = "HTTP/1.1";
+  // Field names are case-insensitive; stored lowercase.
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  std::string host() const;
+  bool keep_alive() const;
+};
+
+struct Response {
+  int status = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.1";
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  bool keep_alive() const;
+};
+
+// Serialization. Adds Content-Length when absent and the body is non-empty
+// (unless Transfer-Encoding is set, in which case the body is emitted as a
+// single chunk plus terminator).
+std::string serialize(const Request& request);
+std::string serialize(const Response& response);
+
+// Incremental parser for one side of a connection. Feed bytes; complete
+// messages pop out in order.
+template <typename Message>
+class MessageParser {
+ public:
+  // Appends bytes; returns all messages completed by them. A malformed
+  // stream poisons the parser (ok() goes false).
+  origin::util::Result<std::vector<Message>> feed(std::string_view bytes);
+  bool ok() const { return ok_; }
+  std::size_t buffered() const { return buffer_.size(); }
+
+ private:
+  enum class State { kHeaders, kBody, kChunkSize, kChunkData, kChunkTrailer };
+
+  origin::util::Status parse_head(std::string_view head, Message& out);
+
+  std::string buffer_;
+  Message current_;
+  State state_ = State::kHeaders;
+  std::size_t body_remaining_ = 0;
+  std::size_t chunk_remaining_ = 0;
+  bool ok_ = true;
+};
+
+using RequestParser = MessageParser<Request>;
+using ResponseParser = MessageParser<Response>;
+
+}  // namespace origin::h1

@@ -1,0 +1,140 @@
+#include "h1/server.h"
+
+namespace origin::h1 {
+
+using origin::util::make_error;
+
+void Http1Server::add_vhost(std::string hostname, Handler handler) {
+  vhosts_[std::move(hostname)] = std::move(handler);
+}
+
+void Http1Server::listen(netsim::Network& network, dns::IpAddress address) {
+  network.listen(address,
+                 [this](netsim::TcpEndpoint endpoint) { accept(endpoint); });
+}
+
+void Http1Server::accept(netsim::TcpEndpoint endpoint) {
+  ++stats_.connections;
+  auto session = std::make_shared<Session>();
+  session->endpoint = endpoint;
+  Session* raw = session.get();
+  session->endpoint.set_on_receive(
+      [this, raw](std::span<const std::uint8_t> bytes) {
+        auto requests = raw->parser.feed(std::string_view(
+            reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+        if (!requests.ok()) {
+          raw->endpoint.close("h1: malformed request");
+          return;
+        }
+        for (const Request& request : *requests) {
+          ++stats_.requests;
+          if (raw->served++ > 0) ++stats_.keep_alive_reuses;
+          Response response;
+          auto vhost = vhosts_.find(request.host());
+          if (vhost == vhosts_.end()) {
+            response.status = 404;
+            response.reason = "Not Found";
+            response.body = "no such host";
+          } else {
+            response = vhost->second(request);
+          }
+          const bool close = !request.keep_alive();
+          if (close) response.headers["connection"] = "close";
+          raw->endpoint.send(origin::util::from_string(serialize(response)));
+          if (close) {
+            ++stats_.closed_after_response;
+            raw->endpoint.close("connection: close");
+            return;
+          }
+        }
+      });
+  sessions_.push_back(std::move(session));
+}
+
+void Http1Client::get(const std::string& host, const std::string& target,
+                      dns::IpAddress address, Callback callback) {
+  Request request;
+  request.method = "GET";
+  request.target = target;
+  request.headers["host"] = host;
+  pools_[host].waiting.emplace_back(std::move(request), std::move(callback));
+  dispatch(host, address);
+}
+
+void Http1Client::dispatch(const std::string& host, dns::IpAddress address) {
+  HostPool& pool = pools_[host];
+  if (pool.waiting.empty()) return;
+
+  // Reuse an idle keep-alive connection first.
+  for (auto& connection : pool.connections) {
+    if (connection->alive && !connection->busy) {
+      auto [request, callback] = std::move(pool.waiting.front());
+      pool.waiting.pop_front();
+      send_on(connection, std::move(request), std::move(callback));
+      if (pool.waiting.empty()) return;
+    }
+  }
+  // Below the per-host cap: open another connection (the browser behaviour
+  // sharding exploits).
+  std::size_t live = pool.pending_connects;
+  for (const auto& connection : pool.connections) live += connection->alive;
+  if (live >= max_per_host_) return;  // queued until something frees up
+
+  ++connections_opened_;
+  ++pool.pending_connects;
+  network_.connect(
+      "h1-client", address,
+      [this, host, address](origin::util::Result<netsim::TcpEndpoint> endpoint) {
+        HostPool& pool = pools_[host];
+        --pool.pending_connects;
+        if (!endpoint.ok()) {
+          while (!pool.waiting.empty()) {
+            auto [request, callback] = std::move(pool.waiting.front());
+            pool.waiting.pop_front();
+            callback(endpoint.error());
+          }
+          return;
+        }
+        auto connection = std::make_shared<Connection>();
+        connection->endpoint = *endpoint;
+        connection->endpoint.set_on_receive(
+            [this, connection, host, address](std::span<const std::uint8_t> bytes) {
+              auto responses = connection->parser.feed(std::string_view(
+                  reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+              if (!responses.ok()) {
+                connection->alive = false;
+                if (connection->pending) {
+                  auto callback = std::move(connection->pending);
+                  connection->pending = nullptr;
+                  callback(responses.error());
+                }
+                return;
+              }
+              auto messages = std::move(*responses);
+              for (Response& response : messages) {
+                connection->busy = false;
+                if (!response.keep_alive()) connection->alive = false;
+                if (connection->pending) {
+                  auto callback = std::move(connection->pending);
+                  connection->pending = nullptr;
+                  callback(std::move(response));
+                }
+              }
+              dispatch(host, address);  // drain the queue
+            });
+        connection->endpoint.set_on_close([connection](const std::string&) {
+          connection->alive = false;
+        });
+        pool.connections.push_back(connection);
+        dispatch(host, address);
+      });
+}
+
+void Http1Client::send_on(const std::shared_ptr<Connection>& connection,
+                          Request request, Callback callback) {
+  connection->busy = true;
+  connection->pending = std::move(callback);
+  connection->endpoint.send(origin::util::from_string(serialize(request)));
+}
+
+}  // namespace origin::h1

@@ -1,0 +1,94 @@
+// HTTP/1.1 origin server and client over netsim.
+//
+// The pre-h2 substrate: one outstanding request per connection (no
+// pipelining — matching mainstream browser behaviour), keep-alive reuse,
+// Host-header virtual hosting. Exists so the repository can demonstrate
+// the sharding workaround the paper's §1–2 narrates: to parallelize on
+// HTTP/1.1, clients must open additional connections, which is exactly the
+// practice that later defeats HTTP/2 coalescing.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "h1/message.h"
+#include "netsim/network.h"
+
+namespace origin::h1 {
+
+using Handler = std::function<Response(const Request&)>;
+
+class Http1Server {
+ public:
+  void add_vhost(std::string hostname, Handler handler);
+  void listen(netsim::Network& network, dns::IpAddress address);
+
+  struct Stats {
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t keep_alive_reuses = 0;  // requests beyond a conn's first
+    std::uint64_t closed_after_response = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Session {
+    netsim::TcpEndpoint endpoint;
+    RequestParser parser;
+    std::uint64_t served = 0;
+  };
+
+  void accept(netsim::TcpEndpoint endpoint);
+
+  std::map<std::string, Handler> vhosts_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+  Stats stats_;
+};
+
+// A small HTTP/1.1 client pool: per-host connection cap, keep-alive reuse,
+// FIFO queueing beyond the cap — the browser-side half of the sharding
+// story.
+class Http1Client {
+ public:
+  Http1Client(netsim::Network& network, std::size_t max_connections_per_host)
+      : network_(network), max_per_host_(max_connections_per_host) {}
+
+  using Callback = std::function<void(origin::util::Result<Response>)>;
+
+  // Issues GET https://host/target at `address`.
+  void get(const std::string& host, const std::string& target,
+           dns::IpAddress address, Callback callback);
+
+  std::size_t connections_opened() const { return connections_opened_; }
+
+ private:
+  struct Connection {
+    netsim::TcpEndpoint endpoint;
+    ResponseParser parser;
+    bool busy = false;
+    bool alive = true;
+    std::deque<std::pair<Request, Callback>> queue;
+    Callback pending;
+  };
+  struct HostPool {
+    std::vector<std::shared_ptr<Connection>> connections;
+    std::deque<std::pair<Request, Callback>> waiting;
+    std::size_t pending_connects = 0;  // counted against the per-host cap
+  };
+
+  void dispatch(const std::string& host, dns::IpAddress address);
+  void send_on(const std::shared_ptr<Connection>& connection, Request request,
+               Callback callback);
+
+  netsim::Network& network_;
+  std::size_t max_per_host_;
+  std::map<std::string, HostPool> pools_;
+  std::size_t connections_opened_ = 0;
+};
+
+}  // namespace origin::h1

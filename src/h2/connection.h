@@ -1,0 +1,180 @@
+// An HTTP/2 connection endpoint: multiplexes streams, runs HPACK in both
+// directions, enforces flow control and the stream state machine, exchanges
+// SETTINGS, and implements the RFC 8336 ORIGIN extension on both sides.
+//
+// I/O model: the connection is sans-io. Incoming bytes are pushed with
+// `receive()`; outgoing bytes accumulate in an internal buffer drained with
+// `take_output()`. The netsim layer moves those buffers between endpoints
+// with simulated latency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "h2/frame.h"
+#include "h2/origin_set.h"
+#include "h2/secondary_certs.h"
+#include "h2/settings.h"
+#include "h2/stream.h"
+#include "hpack/hpack.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace origin::h2 {
+
+struct ConnectionCallbacks {
+  // A complete header block arrived for a stream.
+  std::function<void(std::uint32_t stream_id, const hpack::HeaderList&,
+                     bool end_stream)>
+      on_headers;
+  std::function<void(std::uint32_t stream_id,
+                     std::span<const std::uint8_t> data, bool end_stream)>
+      on_data;
+  // The connection's origin set changed (client side, ORIGIN frame).
+  std::function<void(const OriginSet&)> on_origin_set_changed;
+  std::function<void(std::uint32_t stream_id, ErrorCode)> on_rst_stream;
+  std::function<void(const GoAwayFrame&)> on_goaway;
+  std::function<void(const AltSvcFrame&)> on_altsvc;
+  std::function<void(const SettingsFrame&)> on_remote_settings;
+  // A secondary certificate arrived on stream 0 (§6.5 / secondary-certs
+  // draft) and was added to the connection's secondary certificate set.
+  std::function<void(const tls::Certificate&)> on_secondary_certificate;
+  // An unknown/extension frame arrived (and was ignored, as the spec
+  // requires). Exposed so tests can observe fail-open behaviour.
+  std::function<void(const UnknownFrame&)> on_unknown_frame;
+};
+
+class Connection {
+ public:
+  enum class Role { kClient, kServer };
+
+  // `initial_origin` seeds the client's origin set (ignored for servers).
+  Connection(Role role, Origin initial_origin, Settings local_settings = {});
+
+  void set_callbacks(ConnectionCallbacks callbacks) {
+    callbacks_ = std::move(callbacks);
+  }
+
+  Role role() const { return role_; }
+
+  // --- Sending ---------------------------------------------------------
+
+  // Client only: opens a new stream carrying `headers`.
+  origin::util::Result<std::uint32_t> submit_request(
+      const hpack::HeaderList& headers, bool end_stream);
+
+  // Server only: response headers on an open stream.
+  origin::util::Status submit_response(std::uint32_t stream_id,
+                                       const hpack::HeaderList& headers,
+                                       bool end_stream);
+
+  origin::util::Status submit_data(std::uint32_t stream_id,
+                                   std::span<const std::uint8_t> data,
+                                   bool end_stream);
+
+  // Server only: advertises the origin set on stream 0 (RFC 8336). The
+  // serialized frame also updates `advertised_origins()`.
+  origin::util::Status submit_origin(const std::vector<std::string>& origins);
+
+  // Server only: proves authority for additional origins by shipping a
+  // further certificate on stream 0 (§6.5, secondary-certs draft).
+  origin::util::Status submit_secondary_certificate(
+      const tls::Certificate& cert);
+
+  origin::util::Status submit_altsvc(std::uint32_t stream_id,
+                                     const std::string& origin,
+                                     const std::string& field_value);
+
+  void submit_ping(std::uint64_t opaque);
+  void submit_goaway(ErrorCode error, const std::string& debug);
+  origin::util::Status submit_rst_stream(std::uint32_t stream_id,
+                                         ErrorCode error);
+  origin::util::Status submit_window_update(std::uint32_t stream_id,
+                                            std::uint32_t increment);
+
+  // --- Receiving -------------------------------------------------------
+
+  // Processes peer bytes. A returned error is a connection error: a GOAWAY
+  // has been queued in the output and the connection is dead.
+  origin::util::Status receive(std::span<const std::uint8_t> bytes);
+
+  // --- Introspection ---------------------------------------------------
+
+  origin::util::Bytes take_output();
+  bool has_output() const { return !output_.empty(); }
+
+  const OriginSet& origin_set() const { return origin_set_; }
+  // Secondary certificates received on this connection (client side).
+  const std::vector<tls::Certificate>& secondary_certificates() const {
+    return secondary_certificates_;
+  }
+  const std::vector<std::string>& advertised_origins() const {
+    return advertised_origins_;
+  }
+
+  const Settings& local_settings() const { return local_settings_; }
+  const Settings& remote_settings() const { return remote_settings_; }
+
+  Stream* find_stream(std::uint32_t id);
+  std::size_t active_stream_count() const;
+  std::uint32_t highest_peer_stream() const { return highest_peer_stream_; }
+  bool failed() const { return failed_; }
+  bool goaway_received() const { return goaway_received_.has_value(); }
+  const std::optional<GoAwayFrame>& received_goaway() const {
+    return goaway_received_;
+  }
+  std::uint64_t frames_received(FrameType type) const;
+  std::int64_t connection_send_window() const {
+    return send_window_.available();
+  }
+
+ private:
+  origin::util::Status handle_frame(Frame frame);
+  origin::util::Status connection_error(ErrorCode code, std::string message);
+  Stream& ensure_stream(std::uint32_t id);
+  void enqueue(const Frame& frame);
+
+  Role role_;
+  Settings local_settings_;
+  Settings remote_settings_;
+  ConnectionCallbacks callbacks_;
+
+  hpack::Encoder encoder_;
+  hpack::Decoder decoder_;
+  FrameParser parser_;
+
+  OriginSet origin_set_;
+  std::vector<std::string> advertised_origins_;
+  std::vector<tls::Certificate> secondary_certificates_;
+
+  std::map<std::uint32_t, Stream> streams_;
+  std::uint32_t next_stream_id_;
+  std::uint32_t highest_peer_stream_ = 0;
+
+  FlowWindow send_window_;
+  FlowWindow recv_window_;
+
+  origin::util::Bytes output_;
+  bool preface_sent_ = false;
+  bool preface_received_ = false;
+  std::size_t preface_offset_ = 0;
+  bool failed_ = false;
+  std::optional<GoAwayFrame> goaway_received_;
+  std::map<FrameType, std::uint64_t> frame_counts_;
+
+  // A HEADERS without END_HEADERS leaves the connection in "continuation
+  // expected" state; only CONTINUATION on the same stream is then legal.
+  struct PendingHeaderBlock {
+    std::uint32_t stream_id;
+    origin::util::Bytes fragments;
+    bool end_stream;
+  };
+  std::optional<PendingHeaderBlock> pending_headers_;
+};
+
+}  // namespace origin::h2

@@ -1,0 +1,35 @@
+#include "h2/flow_control.h"
+
+namespace origin::h2 {
+
+namespace {
+constexpr std::int64_t kMaxWindow = 0x7fffffff;
+}
+
+origin::util::Status FlowWindow::consume(std::int64_t n) {
+  if (n < 0) return origin::util::make_error("h2: negative consume");
+  if (n > available_) {
+    return origin::util::make_error("h2: flow-control window underflow");
+  }
+  available_ -= n;
+  return {};
+}
+
+origin::util::Status FlowWindow::replenish(std::int64_t n) {
+  if (n <= 0) return origin::util::make_error("h2: WINDOW_UPDATE of 0");
+  if (available_ + n > kMaxWindow) {
+    return origin::util::make_error("h2: window exceeds 2^31-1");
+  }
+  available_ += n;
+  return {};
+}
+
+origin::util::Status FlowWindow::adjust(std::int64_t delta) {
+  if (available_ + delta > kMaxWindow) {
+    return origin::util::make_error("h2: window exceeds 2^31-1 after adjust");
+  }
+  available_ += delta;
+  return {};
+}
+
+}  // namespace origin::h2

@@ -1,0 +1,38 @@
+// Flow-control windows (RFC 9113 §5.2, §6.9).
+//
+// Windows are signed: a SETTINGS_INITIAL_WINDOW_SIZE decrease can push a
+// stream window negative. Growing a window past 2^31-1 is a
+// FLOW_CONTROL_ERROR.
+#pragma once
+
+#include <cstdint>
+
+#include "util/result.h"
+
+namespace origin::h2 {
+
+class FlowWindow {
+ public:
+  explicit FlowWindow(std::int64_t initial = 65535) : available_(initial) {}
+
+  std::int64_t available() const { return available_; }
+
+  // Can `n` bytes be sent right now?
+  bool can_send(std::int64_t n) const { return available_ >= n; }
+
+  // Deducts sent/received bytes. Receiving more than the advertised window
+  // is the peer's flow-control violation.
+  origin::util::Status consume(std::int64_t n);
+
+  // WINDOW_UPDATE. Fails when the window would exceed 2^31-1.
+  origin::util::Status replenish(std::int64_t n);
+
+  // SETTINGS_INITIAL_WINDOW_SIZE delta applied to all open stream windows
+  // (RFC 9113 §6.9.2); may legitimately drive the window negative.
+  origin::util::Status adjust(std::int64_t delta);
+
+ private:
+  std::int64_t available_;
+};
+
+}  // namespace origin::h2

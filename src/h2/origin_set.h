@@ -1,0 +1,62 @@
+// The client-side Origin Set (RFC 8336 §2.3).
+//
+// Until an ORIGIN frame arrives, the origin set is implicit: it contains
+// the origin the connection was opened for, and a client that wants to
+// coalesce another origin has to fall back to its own heuristics (IP
+// matching, DNS re-resolution — the behaviours §2.3 of the paper documents
+// for Chromium and Firefox). Once an ORIGIN frame arrives the set becomes
+// explicit: each frame REPLACES the set, and members need no DNS
+// revalidation — only certificate coverage.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace origin::h2 {
+
+// An ASCII-serialized origin, e.g. "https://images.example.com" or
+// "https://example.com:8443". Default ports are elided.
+struct Origin {
+  std::string scheme = "https";
+  std::string host;
+  std::uint16_t port = 443;
+
+  std::string serialize() const;
+  static std::optional<Origin> parse(std::string_view ascii);
+
+  bool operator==(const Origin&) const = default;
+};
+
+class OriginSet {
+ public:
+  // The connection's initial origin (from SNI / :authority of the first
+  // request) is always a member.
+  explicit OriginSet(Origin initial);
+
+  // Applies a received ORIGIN frame: the set is replaced by the frame's
+  // valid entries (unparseable entries are ignored individually, per RFC
+  // 8336 §2.1). The initial origin remains reachable regardless.
+  void apply_origin_frame(const std::vector<std::string>& entries);
+
+  // Is `candidate` in the origin set?
+  bool contains(const Origin& candidate) const;
+  bool contains(std::string_view host) const;  // https + default port
+
+  // False once an ORIGIN frame has been received: members are then usable
+  // without any DNS check (certificate checks still apply).
+  bool requires_dns_validation() const { return !explicit_; }
+  bool received_origin_frame() const { return explicit_; }
+
+  const Origin& initial() const { return initial_; }
+  const std::vector<Origin>& members() const { return members_; }
+  std::size_t size() const { return members_.size(); }
+
+ private:
+  Origin initial_;
+  std::vector<Origin> members_;
+  bool explicit_ = false;
+};
+
+}  // namespace origin::h2

@@ -1,0 +1,64 @@
+#include "h2/secondary_certs.h"
+
+namespace origin::h2 {
+
+using origin::util::ByteReader;
+using origin::util::Bytes;
+using origin::util::ByteWriter;
+using origin::util::make_error;
+using origin::util::Result;
+using origin::util::SimTime;
+
+Bytes encode_certificate_payload(const tls::Certificate& cert) {
+  ByteWriter writer(128);
+  writer.u64(cert.serial);
+  writer.u64(cert.issuer_key_id);
+  writer.u64(cert.public_key_id);
+  writer.u64(cert.signature);
+  writer.u64(static_cast<std::uint64_t>(cert.not_before.micros()));
+  writer.u64(static_cast<std::uint64_t>(cert.not_after.micros()));
+  writer.u16(static_cast<std::uint16_t>(cert.subject_common_name.size()));
+  writer.raw(cert.subject_common_name);
+  writer.u16(static_cast<std::uint16_t>(cert.san_dns.size()));
+  for (const auto& san : cert.san_dns) {
+    writer.u16(static_cast<std::uint16_t>(san.size()));
+    writer.raw(san);
+  }
+  // Issuer display name travels too (needed for trust-store lookup logs).
+  writer.u16(static_cast<std::uint16_t>(cert.issuer.size()));
+  writer.raw(cert.issuer);
+  return writer.take();
+}
+
+Result<tls::Certificate> decode_certificate_payload(
+    std::span<const std::uint8_t> payload) {
+  ByteReader reader(payload);
+  tls::Certificate cert;
+  cert.serial = reader.u64();
+  cert.issuer_key_id = reader.u64();
+  cert.public_key_id = reader.u64();
+  cert.signature = reader.u64();
+  cert.not_before =
+      SimTime::from_micros(static_cast<std::int64_t>(reader.u64()));
+  cert.not_after =
+      SimTime::from_micros(static_cast<std::int64_t>(reader.u64()));
+  cert.subject_common_name = reader.str(reader.u16());
+  const std::uint16_t san_count = reader.u16();
+  for (std::uint16_t i = 0; i < san_count && reader.ok(); ++i) {
+    cert.san_dns.push_back(reader.str(reader.u16()));
+  }
+  cert.issuer = reader.str(reader.u16());
+  if (!reader.ok() || !reader.at_end()) {
+    return make_error("h2: malformed CERTIFICATE frame");
+  }
+  return cert;
+}
+
+std::size_t certificate_frame_wire_size(const tls::Certificate& cert) {
+  // In real deployments the payload is a DER X.509 certificate; our
+  // structural model underestimates key/signature bytes, so charge the
+  // certificate's modeled DER size plus the frame header.
+  return 9 + cert.size_bytes();
+}
+
+}  // namespace origin::h2

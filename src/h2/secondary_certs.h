@@ -1,0 +1,40 @@
+// Secondary certificate authentication (paper §6.5; modeled on
+// draft-ietf-httpbis-http2-secondary-certs).
+//
+// Instead of enlarging the primary certificate's SAN, a server can prove
+// authority for additional origins by sending further certificates on
+// stream 0 after the handshake. The paper weighs this against SAN
+// additions: each secondary certificate ships a complete certificate —
+// key, signature, and all — so for the handful of names most sites need
+// (§4.3: <=10 for 92% of sites) SAN additions are strictly smaller, while
+// certificate frames buy operational flexibility for very large or
+// frequently-changing origin sets.
+//
+// Wire format of our CERTIFICATE frame (type 0xd, stream 0):
+//   serial(8) issuer_key_id(8) public_key_id(8) signature(8)
+//   not_before(8) not_after(8)
+//   cn_len(2) cn  san_count(2) { san_len(2) san }*
+#pragma once
+
+#include <cstdint>
+
+#include "tls/certificate.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace origin::h2 {
+
+inline constexpr std::uint8_t kCertificateFrameType = 0xd;
+
+// Serializes `cert` as a CERTIFICATE frame payload.
+origin::util::Bytes encode_certificate_payload(const tls::Certificate& cert);
+
+// Parses a CERTIFICATE frame payload back into a certificate.
+origin::util::Result<tls::Certificate> decode_certificate_payload(
+    std::span<const std::uint8_t> payload);
+
+// Wire size of the full frame (9-octet header + payload) — the quantity
+// the §6.5 comparison is about.
+std::size_t certificate_frame_wire_size(const tls::Certificate& cert);
+
+}  // namespace origin::h2

@@ -1,0 +1,71 @@
+#include "h2/settings.h"
+
+namespace origin::h2 {
+
+origin::util::Status Settings::apply(
+    const std::vector<std::pair<SettingId, std::uint32_t>>& changes) {
+  for (const auto& [id, value] : changes) {
+    switch (id) {
+      case SettingId::kHeaderTableSize:
+        header_table_size = value;
+        break;
+      case SettingId::kEnablePush:
+        if (value > 1) {
+          return origin::util::make_error("h2: ENABLE_PUSH must be 0 or 1");
+        }
+        enable_push = value == 1;
+        break;
+      case SettingId::kMaxConcurrentStreams:
+        max_concurrent_streams = value;
+        break;
+      case SettingId::kInitialWindowSize:
+        if (value > 0x7fffffffu) {
+          return origin::util::make_error(
+              "h2: INITIAL_WINDOW_SIZE above 2^31-1 (FLOW_CONTROL_ERROR)");
+        }
+        initial_window_size = value;
+        break;
+      case SettingId::kMaxFrameSize:
+        if (value < 16384 || value > 16777215) {
+          return origin::util::make_error(
+              "h2: MAX_FRAME_SIZE outside [2^14, 2^24-1]");
+        }
+        max_frame_size = value;
+        break;
+      case SettingId::kMaxHeaderListSize:
+        max_header_list_size = value;
+        break;
+      default:
+        // Unknown settings MUST be ignored (RFC 9113 §6.5.2).
+        break;
+    }
+  }
+  return {};
+}
+
+std::vector<std::pair<SettingId, std::uint32_t>> Settings::diff_from_defaults()
+    const {
+  const Settings defaults;
+  std::vector<std::pair<SettingId, std::uint32_t>> out;
+  if (header_table_size != defaults.header_table_size) {
+    out.emplace_back(SettingId::kHeaderTableSize, header_table_size);
+  }
+  if (enable_push != defaults.enable_push) {
+    out.emplace_back(SettingId::kEnablePush, enable_push ? 1 : 0);
+  }
+  if (max_concurrent_streams != defaults.max_concurrent_streams) {
+    out.emplace_back(SettingId::kMaxConcurrentStreams, max_concurrent_streams);
+  }
+  if (initial_window_size != defaults.initial_window_size) {
+    out.emplace_back(SettingId::kInitialWindowSize, initial_window_size);
+  }
+  if (max_frame_size != defaults.max_frame_size) {
+    out.emplace_back(SettingId::kMaxFrameSize, max_frame_size);
+  }
+  if (max_header_list_size != defaults.max_header_list_size) {
+    out.emplace_back(SettingId::kMaxHeaderListSize, max_header_list_size);
+  }
+  return out;
+}
+
+}  // namespace origin::h2

@@ -1,0 +1,29 @@
+// Connection settings (RFC 9113 §6.5) with validation rules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "h2/frame.h"
+#include "util/result.h"
+
+namespace origin::h2 {
+
+struct Settings {
+  std::uint32_t header_table_size = 4096;
+  bool enable_push = true;
+  std::uint32_t max_concurrent_streams = 0xffffffffu;  // unlimited by default
+  std::uint32_t initial_window_size = 65535;
+  std::uint32_t max_frame_size = 16384;
+  std::uint32_t max_header_list_size = 0xffffffffu;
+
+  // Applies received settings in order; invalid values are connection
+  // errors (RFC 9113 §6.5.2).
+  origin::util::Status apply(
+      const std::vector<std::pair<SettingId, std::uint32_t>>& changes);
+
+  // Serializes the non-default values for the initial SETTINGS frame.
+  std::vector<std::pair<SettingId, std::uint32_t>> diff_from_defaults() const;
+};
+
+}  // namespace origin::h2

@@ -1,0 +1,73 @@
+#include "h2/stream.h"
+
+#include <string>
+
+namespace origin::h2 {
+
+const char* stream_state_name(StreamState state) {
+  switch (state) {
+    case StreamState::kIdle: return "idle";
+    case StreamState::kReservedLocal: return "reserved(local)";
+    case StreamState::kReservedRemote: return "reserved(remote)";
+    case StreamState::kOpen: return "open";
+    case StreamState::kHalfClosedLocal: return "half-closed(local)";
+    case StreamState::kHalfClosedRemote: return "half-closed(remote)";
+    case StreamState::kClosed: return "closed";
+  }
+  return "?";
+}
+
+origin::util::Status Stream::apply(StreamEvent event) {
+  auto invalid = [&]() -> origin::util::Status {
+    return origin::util::make_error(std::string("h2: invalid stream event in ") +
+                                    stream_state_name(state_));
+  };
+  switch (event) {
+    case StreamEvent::kSendHeaders:
+      switch (state_) {
+        case StreamState::kIdle: state_ = StreamState::kOpen; return {};
+        case StreamState::kReservedLocal: state_ = StreamState::kHalfClosedRemote; return {};
+        case StreamState::kOpen:
+        case StreamState::kHalfClosedRemote: return {};  // trailers
+        default: return invalid();
+      }
+    case StreamEvent::kRecvHeaders:
+      switch (state_) {
+        case StreamState::kIdle: state_ = StreamState::kOpen; return {};
+        case StreamState::kReservedRemote: state_ = StreamState::kHalfClosedLocal; return {};
+        case StreamState::kOpen:
+        case StreamState::kHalfClosedLocal: return {};  // trailers
+        default: return invalid();
+      }
+    case StreamEvent::kSendEndStream:
+      switch (state_) {
+        case StreamState::kOpen: state_ = StreamState::kHalfClosedLocal; return {};
+        case StreamState::kHalfClosedRemote: state_ = StreamState::kClosed; return {};
+        default: return invalid();
+      }
+    case StreamEvent::kRecvEndStream:
+      switch (state_) {
+        case StreamState::kOpen: state_ = StreamState::kHalfClosedRemote; return {};
+        case StreamState::kHalfClosedLocal: state_ = StreamState::kClosed; return {};
+        default: return invalid();
+      }
+    case StreamEvent::kSendRstStream:
+    case StreamEvent::kRecvRstStream:
+      // RST on an idle stream is a connection error; from any other state
+      // the stream simply closes.
+      if (state_ == StreamState::kIdle) return invalid();
+      state_ = StreamState::kClosed;
+      return {};
+    case StreamEvent::kSendPushPromise:
+      if (state_ != StreamState::kIdle) return invalid();
+      state_ = StreamState::kReservedLocal;
+      return {};
+    case StreamEvent::kRecvPushPromise:
+      if (state_ != StreamState::kIdle) return invalid();
+      state_ = StreamState::kReservedRemote;
+      return {};
+  }
+  return invalid();
+}
+
+}  // namespace origin::h2

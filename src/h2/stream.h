@@ -1,0 +1,94 @@
+/*
+  Per-stream state machine (RFC 9113 §5.1).
+
+                           +--------+
+                   send PP |        | recv PP
+                  ,--------+  idle  +--------.
+                 /         |        |         \
+                v          +--------+          v
+         +----------+          |           +----------+
+         |          |          | send H /  |          |
+         | reserved |          | recv H    | reserved |
+         | (local)  |          |           | (remote) |
+         +----------+          v           +----------+
+             |             +--------+             |
+             |     recv ES |        | send ES     |
+             |    ,--------+  open  +--------.    |
+             |   /         |        |         \   |
+             v  v          +--------+          v  v
+         +----------+          |           +----------+
+         |   half-  |          |           |   half-  |
+         |  closed  |          | send R /  |  closed  |
+         | (remote) |          | recv R    | (local)  |
+         +----------+          |           +----------+
+              |                v                 |
+              |            +--------+            |
+              `----------->| closed |<-----------'
+                           +--------+
+*/
+#pragma once
+
+#include <cstdint>
+
+#include "h2/flow_control.h"
+#include "util/result.h"
+
+namespace origin::h2 {
+
+enum class StreamState {
+  kIdle,
+  kReservedLocal,
+  kReservedRemote,
+  kOpen,
+  kHalfClosedLocal,
+  kHalfClosedRemote,
+  kClosed,
+};
+
+const char* stream_state_name(StreamState state);
+
+// Events that drive transitions. "Local" = this endpoint sent it.
+enum class StreamEvent {
+  kSendHeaders,
+  kRecvHeaders,
+  kSendEndStream,
+  kRecvEndStream,
+  kSendRstStream,
+  kRecvRstStream,
+  kSendPushPromise,  // applied to the promised stream
+  kRecvPushPromise,
+};
+
+class Stream {
+ public:
+  Stream(std::uint32_t id, std::int64_t send_window, std::int64_t recv_window)
+      : id_(id), send_window_(send_window), recv_window_(recv_window) {}
+
+  std::uint32_t id() const { return id_; }
+  StreamState state() const { return state_; }
+  bool closed() const { return state_ == StreamState::kClosed; }
+
+  // Applies an event; invalid transitions are protocol errors.
+  origin::util::Status apply(StreamEvent event);
+
+  FlowWindow& send_window() { return send_window_; }
+  FlowWindow& recv_window() { return recv_window_; }
+
+  // True if this endpoint may still send DATA on the stream.
+  bool can_send_data() const {
+    return state_ == StreamState::kOpen ||
+           state_ == StreamState::kHalfClosedRemote;
+  }
+  bool can_recv_data() const {
+    return state_ == StreamState::kOpen ||
+           state_ == StreamState::kHalfClosedLocal;
+  }
+
+ private:
+  std::uint32_t id_;
+  StreamState state_ = StreamState::kIdle;
+  FlowWindow send_window_;
+  FlowWindow recv_window_;
+};
+
+}  // namespace origin::h2

@@ -1,0 +1,41 @@
+#include "hpack/integer.h"
+
+namespace origin::hpack {
+
+void encode_integer(std::uint64_t value, int prefix_bits,
+                    std::uint8_t first_byte_flags,
+                    origin::util::ByteWriter& out) {
+  const std::uint64_t max_prefix = (1ull << prefix_bits) - 1;
+  if (value < max_prefix) {
+    out.u8(static_cast<std::uint8_t>(first_byte_flags | value));
+    return;
+  }
+  out.u8(static_cast<std::uint8_t>(first_byte_flags | max_prefix));
+  value -= max_prefix;
+  while (value >= 128) {
+    out.u8(static_cast<std::uint8_t>(0x80 | (value & 0x7f)));
+    value >>= 7;
+  }
+  out.u8(static_cast<std::uint8_t>(value));
+}
+
+origin::util::Result<std::uint64_t> decode_integer(
+    origin::util::ByteReader& reader, int prefix_bits) {
+  const std::uint64_t max_prefix = (1ull << prefix_bits) - 1;
+  std::uint64_t value = reader.u8() & max_prefix;
+  if (!reader.ok()) return origin::util::make_error("hpack: truncated integer");
+  if (value < max_prefix) return value;
+  int shift = 0;
+  for (int octets = 0; octets < 10; ++octets) {
+    std::uint8_t byte = reader.u8();
+    if (!reader.ok()) {
+      return origin::util::make_error("hpack: truncated integer continuation");
+    }
+    value += static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+  return origin::util::make_error("hpack: integer overflow");
+}
+
+}  // namespace origin::hpack

@@ -1,0 +1,27 @@
+// HPACK prefix-coded integers (RFC 7541 §5.1).
+//
+// An integer is coded into the low `prefix_bits` of the first octet; values
+// that do not fit continue in subsequent octets, 7 bits at a time, LSB
+// first, with the high bit as a continuation flag.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace origin::hpack {
+
+// Encodes `value` with the given prefix size (1..8). `first_byte_flags` is
+// OR'ed into the first octet's high bits (the representation discriminator,
+// e.g. 0x80 for an indexed header field).
+void encode_integer(std::uint64_t value, int prefix_bits,
+                    std::uint8_t first_byte_flags,
+                    origin::util::ByteWriter& out);
+
+// Decodes an integer with the given prefix size from `reader`. Rejects
+// encodings over 10 continuation octets (> 2^62) as malformed.
+origin::util::Result<std::uint64_t> decode_integer(
+    origin::util::ByteReader& reader, int prefix_bits);
+
+}  // namespace origin::hpack

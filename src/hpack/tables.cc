@@ -1,0 +1,129 @@
+#include "hpack/tables.h"
+
+#include <array>
+
+namespace origin::hpack {
+
+namespace {
+
+// RFC 7541 Appendix A.
+const std::array<HeaderField, kStaticTableSize>& static_table() {
+  static const std::array<HeaderField, kStaticTableSize> kTable = {{
+      {":authority", ""},
+      {":method", "GET"},
+      {":method", "POST"},
+      {":path", "/"},
+      {":path", "/index.html"},
+      {":scheme", "http"},
+      {":scheme", "https"},
+      {":status", "200"},
+      {":status", "204"},
+      {":status", "206"},
+      {":status", "304"},
+      {":status", "400"},
+      {":status", "404"},
+      {":status", "500"},
+      {"accept-charset", ""},
+      {"accept-encoding", "gzip, deflate"},
+      {"accept-language", ""},
+      {"accept-ranges", ""},
+      {"accept", ""},
+      {"access-control-allow-origin", ""},
+      {"age", ""},
+      {"allow", ""},
+      {"authorization", ""},
+      {"cache-control", ""},
+      {"content-disposition", ""},
+      {"content-encoding", ""},
+      {"content-language", ""},
+      {"content-length", ""},
+      {"content-location", ""},
+      {"content-range", ""},
+      {"content-type", ""},
+      {"cookie", ""},
+      {"date", ""},
+      {"etag", ""},
+      {"expect", ""},
+      {"expires", ""},
+      {"from", ""},
+      {"host", ""},
+      {"if-match", ""},
+      {"if-modified-since", ""},
+      {"if-none-match", ""},
+      {"if-range", ""},
+      {"if-unmodified-since", ""},
+      {"last-modified", ""},
+      {"link", ""},
+      {"location", ""},
+      {"max-forwards", ""},
+      {"proxy-authenticate", ""},
+      {"proxy-authorization", ""},
+      {"range", ""},
+      {"referer", ""},
+      {"refresh", ""},
+      {"retry-after", ""},
+      {"server", ""},
+      {"set-cookie", ""},
+      {"strict-transport-security", ""},
+      {"transfer-encoding", ""},
+      {"user-agent", ""},
+      {"vary", ""},
+      {"via", ""},
+      {"www-authenticate", ""},
+  }};
+  return kTable;
+}
+
+}  // namespace
+
+const HeaderField* static_table_entry(std::size_t index) {
+  if (index < 1 || index > kStaticTableSize) return nullptr;
+  return &static_table()[index - 1];
+}
+
+void DynamicTable::insert(HeaderField field) {
+  const std::size_t entry_size = field.hpack_size();
+  while (!entries_.empty() && size_ + entry_size > max_size_) {
+    size_ -= entries_.back().hpack_size();
+    entries_.pop_back();
+  }
+  if (entry_size > max_size_) return;  // table is now empty; entry dropped
+  size_ += entry_size;
+  entries_.push_front(std::move(field));
+}
+
+void DynamicTable::set_max_size(std::size_t max_size) {
+  max_size_ = max_size;
+  while (size_ > max_size_) {
+    size_ -= entries_.back().hpack_size();
+    entries_.pop_back();
+  }
+}
+
+const HeaderField* DynamicTable::entry(std::size_t combined_index) const {
+  if (combined_index <= kStaticTableSize) return nullptr;
+  std::size_t offset = combined_index - kStaticTableSize - 1;
+  if (offset >= entries_.size()) return nullptr;
+  return &entries_[offset];
+}
+
+std::optional<Match> find_match(const DynamicTable& dynamic,
+                                std::string_view name, std::string_view value) {
+  std::optional<Match> name_only;
+  for (std::size_t i = 1; i <= kStaticTableSize; ++i) {
+    const HeaderField* f = static_table_entry(i);
+    if (f->name != name) continue;
+    if (f->value == value) return Match{i, true};
+    if (!name_only) name_only = Match{i, false};
+  }
+  for (std::size_t i = 0; i < dynamic.entry_count(); ++i) {
+    std::size_t combined = kStaticTableSize + 1 + i;
+    const HeaderField* f = dynamic.entry(combined);
+    if (f->name != name) continue;
+    if (f->value == value) return Match{combined, true};
+    if (!name_only) name_only = Match{combined, false};
+  }
+  return name_only;
+}
+
+}  // namespace origin::hpack

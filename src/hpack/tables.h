@@ -1,0 +1,64 @@
+// HPACK indexing tables (RFC 7541 §2.3): the fixed 61-entry static table and
+// the bounded FIFO dynamic table. The combined address space indexes the
+// static table first (1..61) then the dynamic table (62..).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace origin::hpack {
+
+struct HeaderField {
+  std::string name;
+  std::string value;
+
+  bool operator==(const HeaderField&) const = default;
+
+  // RFC 7541 §4.1: entry size is name + value + 32 bytes of overhead.
+  std::size_t hpack_size() const { return name.size() + value.size() + 32; }
+};
+
+constexpr std::size_t kStaticTableSize = 61;
+
+// Returns the static-table entry for 1-based index [1, 61], or nullptr.
+const HeaderField* static_table_entry(std::size_t index);
+
+struct Match {
+  std::size_t index = 0;  // combined 1-based index
+  bool value_matches = false;
+};
+
+class DynamicTable {
+ public:
+  explicit DynamicTable(std::size_t max_size = 4096) : max_size_(max_size) {}
+
+  // Inserts at the head (index 62), evicting from the tail as needed. An
+  // entry larger than the table capacity empties the table (RFC 7541 §4.4).
+  void insert(HeaderField field);
+
+  // Resizes the table, evicting as needed (SETTINGS_HEADER_TABLE_SIZE or a
+  // dynamic table size update instruction).
+  void set_max_size(std::size_t max_size);
+
+  // Entry by combined index (>= 62); nullptr when out of range.
+  const HeaderField* entry(std::size_t combined_index) const;
+
+  std::size_t size_bytes() const { return size_; }
+  std::size_t max_size() const { return max_size_; }
+  std::size_t entry_count() const { return entries_.size(); }
+
+ private:
+  std::deque<HeaderField> entries_;  // front = most recent = index 62
+  std::size_t size_ = 0;
+  std::size_t max_size_;
+};
+
+// Searches the static table then `dynamic` for the best match for
+// (name, value): exact name+value match wins over name-only.
+std::optional<Match> find_match(const DynamicTable& dynamic,
+                                std::string_view name, std::string_view value);
+
+}  // namespace origin::hpack

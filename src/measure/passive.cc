@@ -1,0 +1,74 @@
+#include "measure/passive.h"
+
+#include <algorithm>
+
+namespace origin::measure {
+
+void PassivePipeline::observe(const web::PageLoad& load,
+                              const std::string& domain, Treatment treatment,
+                              std::uint64_t day) {
+  // Reconstruct per-connection request streams for this page load.
+  std::map<std::uint64_t, std::uint32_t> arrival_counters;
+  std::map<std::uint64_t, std::string> connection_sni;
+  for (const auto& entry : load.entries) {
+    if (entry.connection_id == 0) continue;
+    // First request on a connection names its SNI.
+    auto [it, inserted] =
+        connection_sni.emplace(entry.connection_id, entry.hostname);
+    const std::uint32_t order = ++arrival_counters[entry.connection_id];
+    (void)inserted;
+    if (entry.hostname != domain) continue;
+
+    // Connection accounting is complete (handshake logs are unsampled).
+    if (entry.new_tls_connection) {
+      ++(treatment == Treatment::kControl ? control_connections_
+                                          : experiment_connections_);
+      ++day_connections_[{treatment == Treatment::kControl ? 0 : 1, day}];
+    }
+    // Request logs are sampled at `sample_rate_`.
+    if (!rng_.bernoulli(sample_rate_)) continue;
+    LogRecord record;
+    record.connection_id = entry.connection_id;
+    record.sni = it->second;
+    record.host = entry.hostname;
+    record.host_differs_sni = it->second != entry.hostname;
+    record.treatment = treatment;
+    record.arrival_order = order;
+    record.day = day;
+    records_.push_back(std::move(record));
+  }
+}
+
+std::uint64_t PassivePipeline::new_connections(Treatment treatment) const {
+  return treatment == Treatment::kControl ? control_connections_
+                                          : experiment_connections_;
+}
+
+std::uint64_t PassivePipeline::new_connections_on_day(Treatment treatment,
+                                                      std::uint64_t day) const {
+  auto it = day_connections_.find(
+      {treatment == Treatment::kControl ? 0 : 1, day});
+  return it == day_connections_.end() ? 0 : it->second;
+}
+
+std::uint64_t PassivePipeline::coalesced_connections(
+    Treatment treatment) const {
+  std::set<std::uint64_t> connections;
+  for (const auto& record : records_) {
+    if (record.treatment != treatment) continue;
+    // The paper's signal: flag bit set and arrival order >= 2, counting
+    // each connection id once.
+    if (record.host_differs_sni && record.arrival_order >= 2) {
+      connections.insert(record.connection_id);
+    }
+  }
+  return connections.size();
+}
+
+double PassivePipeline::reduction_vs_control() const {
+  if (control_connections_ == 0) return 0.0;
+  return 1.0 - static_cast<double>(experiment_connections_) /
+                   static_cast<double>(control_connections_);
+}
+
+}  // namespace origin::measure

@@ -1,0 +1,72 @@
+// Server-side passive measurement pipeline (paper §5.2).
+//
+// The production pipeline sampled 1% of HTTP requests and, because nothing
+// in TLS or HTTP marks a request as "coalesced", was extended with exactly
+// three signals: (i) a flag bit set when the HTTP Host differs from the
+// TLS SNI, (ii) the treatment label, and (iii) the request's arrival order
+// on its connection. Coalescing is then counted from flagged requests with
+// arrival order >= 2, deduplicated per connection. This class reimplements
+// that method over simulated request logs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "web/har.h"
+
+namespace origin::measure {
+
+enum class Treatment { kControl, kExperiment };
+
+struct LogRecord {
+  std::uint64_t connection_id = 0;
+  std::string sni;        // hostname the connection was opened for
+  std::string host;       // HTTP Host of this request
+  bool host_differs_sni = false;  // the §5.2 flag bit
+  Treatment treatment = Treatment::kControl;
+  std::uint32_t arrival_order = 0;  // 1-based within the connection
+  std::uint64_t day = 0;            // observation day (longitudinal axis)
+};
+
+class PassivePipeline {
+ public:
+  explicit PassivePipeline(double sample_rate = 0.01,
+                           std::uint64_t seed = 0xCD4)
+      : sample_rate_(sample_rate), rng_(seed) {}
+
+  // Feeds one page load's requests to the third-party `domain`. The
+  // referrer (base hostname) determines the treatment group, as in the
+  // paper's Referer-based attribution.
+  void observe(const web::PageLoad& load, const std::string& domain,
+               Treatment treatment, std::uint64_t day);
+
+  // New TLS connections to the third party per treatment (per day).
+  std::uint64_t new_connections(Treatment treatment) const;
+  std::uint64_t new_connections_on_day(Treatment treatment,
+                                       std::uint64_t day) const;
+  // Coalesced connections counted by the flag-bit method: flagged requests
+  // with arrival order >= 2, each connection counted once.
+  std::uint64_t coalesced_connections(Treatment treatment) const;
+  std::uint64_t sampled_records() const { return records_.size(); }
+  const std::vector<LogRecord>& records() const { return records_; }
+
+  // §5.2 headline: reduction in the rate of new TLS connections to the
+  // third party, experiment relative to control.
+  double reduction_vs_control() const;
+
+ private:
+  double sample_rate_;
+  origin::util::Rng rng_;
+  std::vector<LogRecord> records_;
+  // Full (unsampled) connection counts, as the CDN's connection logs see
+  // every handshake even when request logs are sampled.
+  std::map<std::pair<int, std::uint64_t>, std::uint64_t> day_connections_;
+  std::uint64_t control_connections_ = 0;
+  std::uint64_t experiment_connections_ = 0;
+};
+
+}  // namespace origin::measure

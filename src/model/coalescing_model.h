@@ -1,0 +1,87 @@
+// Best-case coalescing model (paper §4).
+//
+// Inputs are measured HAR timelines; outputs are the paper's three
+// predictions:
+//   1. which requests *could have been* coalesced (ideal ORIGIN and ideal
+//      IP variants),
+//   2. the predicted DNS / TLS / certificate-validation counts under each
+//      ideal (§4.2, Figure 3),
+//   3. a conservatively reconstructed timeline with the avoided DNS and
+//      TCP+TLS setup removed (§4.1, Figure 2) — the basis of the PLT
+//      predictions in Figure 9.
+//
+// The model's core assumption (§4.1) is that every server in an AS can
+// authoritatively serve all content of that AS; grouping by AS is therefore
+// the default, with provider/service granularities available for the
+// ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "browser/environment.h"
+#include "web/har.h"
+
+namespace origin::model {
+
+enum class Grouping {
+  kAsn,       // the paper's assumption: AS == coalescing unit
+  kProvider,  // organization (merges an operator's several ASes)
+  kService,   // exact deployment unit (strictest sound grouping)
+};
+
+const char* grouping_name(Grouping grouping);
+
+struct EntryAnalysis {
+  bool coalescable_origin = false;  // rides an earlier connection, ideal ORIGIN
+  bool coalescable_ip = false;      // same server IP as an earlier connection
+  std::string group_key;            // coalescing unit this entry belongs to
+};
+
+struct PageAnalysis {
+  std::vector<EntryAnalysis> entries;
+
+  // Measured counts (from the HAR, including race extras).
+  std::size_t measured_dns = 0;
+  std::size_t measured_tls = 0;
+  std::size_t measured_validations = 0;
+
+  // §4.2 ideals: one DNS query + TLS handshake + validation per *service*
+  // (group) for coalescable traffic; non-coalescable requests (h1,
+  // insecure, unknown hosts) keep their measured behaviour.
+  std::size_t ideal_origin_dns = 0;
+  std::size_t ideal_origin_tls = 0;
+  std::size_t ideal_origin_validations = 0;
+
+  // Ideal IP coalescing: any set of >= 2 connections to one address
+  // becomes one connection; no certificate or DNS changes assumed.
+  std::size_t ideal_ip_dns = 0;
+  std::size_t ideal_ip_tls = 0;
+};
+
+class CoalescingModel {
+ public:
+  explicit CoalescingModel(const browser::Environment& env,
+                           Grouping grouping = Grouping::kAsn)
+      : env_(env), grouping_(grouping) {}
+
+  PageAnalysis analyze(const web::PageLoad& load) const;
+
+  // §4.1 conservative timeline reconstruction. `restrict_to_group`
+  // non-empty limits coalescing to that group only (the "deployment CDN
+  // only" prediction in Figure 9's dotted line).
+  web::PageLoad reconstruct(const web::PageLoad& load,
+                            const PageAnalysis& analysis,
+                            const std::string& restrict_to_group = "") const;
+
+  // Group key for a hostname under the configured grouping.
+  std::string group_of(const std::string& hostname, std::uint32_t asn) const;
+
+ private:
+  const browser::Environment& env_;
+  Grouping grouping_;
+};
+
+}  // namespace origin::model

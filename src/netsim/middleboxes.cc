@@ -1,0 +1,46 @@
+#include "netsim/middleboxes.h"
+
+namespace origin::netsim {
+
+Middlebox::Verdict PassiveInspector::inspect(
+    std::span<const std::uint8_t> bytes, bool to_server) {
+  // The client preface is not framed; skip bytes that can't parse. A real
+  // inspector tracks the preface too — for counting purposes treating a
+  // parse failure as opaque passthrough suffices.
+  auto& parser = to_server ? to_server_parser_ : to_client_parser_;
+  auto frames = parser.feed(bytes);
+  if (frames.ok()) frames_seen_ += frames->size();
+  return Verdict::kForward;
+}
+
+StrictFrameMiddlebox::StrictFrameMiddlebox() {
+  // RFC 7540 core frame types only; ORIGIN (0xc) and ALTSVC (0xa) postdate
+  // the agent's parser.
+  for (std::uint8_t t = 0x0; t <= 0x9; ++t) known_types_.insert(t);
+}
+
+Middlebox::Verdict StrictFrameMiddlebox::inspect(
+    std::span<const std::uint8_t> bytes, bool to_server) {
+  auto& parser = to_server ? to_server_parser_ : to_client_parser_;
+  if (to_server) {
+    // Strip a client preface if present at the head of the stream; the
+    // frame parser does not understand it.
+    static constexpr std::string_view magic = h2::kClientPreface;
+    if (bytes.size() >= magic.size() &&
+        std::equal(magic.begin(), magic.end(), bytes.begin())) {
+      bytes = bytes.subspan(magic.size());
+    }
+  }
+  auto frames = parser.feed(bytes);
+  if (!frames.ok()) return Verdict::kForward;  // opaque to the agent
+  for (const auto& frame : *frames) {
+    const auto type = static_cast<std::uint8_t>(h2::frame_type_of(frame));
+    if (!known_types_.contains(type)) {
+      ++teardowns_;
+      return Verdict::kTeardown;
+    }
+  }
+  return Verdict::kForward;
+}
+
+}  // namespace origin::netsim

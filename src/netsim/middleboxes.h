@@ -1,0 +1,49 @@
+// Concrete middleboxes used by the experiments.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "h2/frame.h"
+#include "netsim/network.h"
+
+namespace origin::netsim {
+
+// A standards-compliant inspection device: looks at every frame, forwards
+// everything (the baseline that proves inspection alone breaks nothing).
+class PassiveInspector : public Middlebox {
+ public:
+  Verdict inspect(std::span<const std::uint8_t> bytes, bool to_server) override;
+  std::string name() const override { return "passive-inspector"; }
+  std::uint64_t frames_seen() const { return frames_seen_; }
+
+ private:
+  h2::FrameParser to_server_parser_;
+  h2::FrameParser to_client_parser_;
+  std::uint64_t frames_seen_ = 0;
+};
+
+// The §6.7 bug: a network agent that tears the TLS connection down when it
+// sees a frame type it does not recognize — instead of ignoring it as RFC
+// 9113 §4.1 requires. Defaults to knowing only the RFC 7540 core frames,
+// so ORIGIN (0xc) triggers the teardown.
+class StrictFrameMiddlebox : public Middlebox {
+ public:
+  StrictFrameMiddlebox();
+
+  // Frame types the agent recognizes (and therefore forwards).
+  void add_known_type(std::uint8_t type) { known_types_.insert(type); }
+
+  Verdict inspect(std::span<const std::uint8_t> bytes, bool to_server) override;
+  std::string name() const override { return "strict-av-agent"; }
+  std::uint64_t teardowns() const { return teardowns_; }
+
+ private:
+  std::set<std::uint8_t> known_types_;
+  h2::FrameParser to_server_parser_;
+  h2::FrameParser to_client_parser_;
+  std::uint64_t teardowns_ = 0;
+};
+
+}  // namespace origin::netsim

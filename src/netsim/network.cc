@@ -1,0 +1,165 @@
+#include "netsim/network.h"
+
+#include <algorithm>
+
+namespace origin::netsim {
+
+using origin::util::Bytes;
+using origin::util::make_error;
+using origin::util::Result;
+
+void TcpEndpoint::send(Bytes bytes) {
+  if (network_ == nullptr) return;
+  network_->deliver(connection_id_, client_side_, std::move(bytes));
+}
+
+void TcpEndpoint::close(const std::string& reason) {
+  if (network_ == nullptr) return;
+  network_->teardown(connection_id_, reason);
+}
+
+bool TcpEndpoint::open() const {
+  if (network_ == nullptr) return false;
+  auto* conn = network_->find(connection_id_);
+  return conn != nullptr && conn->open;
+}
+
+void TcpEndpoint::set_on_receive(
+    std::function<void(std::span<const std::uint8_t>)> callback) {
+  auto* conn = network_->find(connection_id_);
+  if (conn == nullptr) return;
+  (client_side_ ? conn->client : conn->server).on_receive = std::move(callback);
+}
+
+void TcpEndpoint::set_on_close(
+    std::function<void(const std::string&)> callback) {
+  auto* conn = network_->find(connection_id_);
+  if (conn == nullptr) return;
+  (client_side_ ? conn->client : conn->server).on_close = std::move(callback);
+}
+
+dns::IpAddress TcpEndpoint::peer_address() const {
+  auto* conn = network_->find(connection_id_);
+  return conn == nullptr ? dns::IpAddress{} : conn->server_address;
+}
+
+LinkParams Network::link_to(dns::IpAddress server) const {
+  auto it = link_overrides_.find(server);
+  return it == link_overrides_.end() ? default_link_ : it->second;
+}
+
+void Network::listen(dns::IpAddress address,
+                     std::function<void(TcpEndpoint)> on_accept) {
+  listeners_[address] = std::move(on_accept);
+}
+
+void Network::stop_listening(dns::IpAddress address) {
+  listeners_.erase(address);
+}
+
+bool Network::listening(dns::IpAddress address) const {
+  return listeners_.count(address) > 0;
+}
+
+void Network::install_middlebox(std::string client_tag,
+                                std::shared_ptr<Middlebox> middlebox) {
+  middleboxes_[std::move(client_tag)].push_back(std::move(middlebox));
+}
+
+void Network::connect(
+    const std::string& client_tag, dns::IpAddress server,
+    std::function<void(Result<TcpEndpoint>)> callback) {
+  const LinkParams link = link_to(server);
+  // SYN out, SYN-ACK back: the callback fires one RTT from now.
+  sim_.schedule(link.rtt(), [this, client_tag, server, link,
+                             callback = std::move(callback)]() {
+    auto listener = listeners_.find(server);
+    if (listener == listeners_.end()) {
+      ++stats_.connect_failures;
+      callback(make_error("netsim: connection refused " + server.to_string()));
+      return;
+    }
+    ++stats_.tcp_handshakes;
+    const std::uint64_t id = next_connection_id_++;
+    Connection conn;
+    conn.server_address = server;
+    conn.client_tag = client_tag;
+    conn.link = link;
+    conn.client_clear_at = sim_.now();
+    conn.server_clear_at = sim_.now();
+    // Middleboxes installed for this client plus the catch-all tag.
+    for (const auto& tag : {client_tag, std::string()}) {
+      auto it = middleboxes_.find(tag);
+      if (it != middleboxes_.end()) {
+        conn.middleboxes.insert(conn.middleboxes.end(), it->second.begin(),
+                                it->second.end());
+      }
+    }
+    connections_.emplace(id, std::move(conn));
+
+    TcpEndpoint client_end;
+    client_end.network_ = this;
+    client_end.connection_id_ = id;
+    client_end.client_side_ = true;
+    TcpEndpoint server_end;
+    server_end.network_ = this;
+    server_end.connection_id_ = id;
+    server_end.client_side_ = false;
+
+    // Accept first so the server installs its callbacks before any client
+    // bytes can arrive.
+    listener->second(server_end);
+    callback(client_end);
+  });
+}
+
+Network::Connection* Network::find(std::uint64_t id) {
+  auto it = connections_.find(id);
+  return it == connections_.end() ? nullptr : &it->second;
+}
+
+void Network::deliver(std::uint64_t id, bool from_client, Bytes bytes) {
+  Connection* conn = find(id);
+  if (conn == nullptr || !conn->open || bytes.empty()) return;
+  stats_.bytes_sent += bytes.size();
+
+  for (const auto& middlebox : conn->middleboxes) {
+    if (middlebox->inspect(bytes, from_client) ==
+        Middlebox::Verdict::kTeardown) {
+      ++stats_.middlebox_teardowns;
+      teardown(id, "middlebox teardown: " + middlebox->name());
+      return;
+    }
+  }
+
+  // Serialization delay: bytes queue behind previously-sent bytes in the
+  // same direction, then cross the link's one-way latency.
+  origin::util::SimTime& clear_at =
+      from_client ? conn->client_clear_at : conn->server_clear_at;
+  if (clear_at < sim_.now()) clear_at = sim_.now();
+  clear_at = clear_at + conn->link.transfer_time(bytes.size());
+  const origin::util::SimTime arrival = clear_at + conn->link.one_way;
+
+  sim_.schedule_at(arrival, [this, id, from_client,
+                             bytes = std::move(bytes)]() {
+    Connection* conn = find(id);
+    if (conn == nullptr || !conn->open) return;
+    auto& receiver = from_client ? conn->server : conn->client;
+    if (receiver.on_receive) receiver.on_receive(bytes);
+  });
+}
+
+void Network::teardown(std::uint64_t id, const std::string& reason) {
+  Connection* conn = find(id);
+  if (conn == nullptr || !conn->open) return;
+  conn->open = false;
+  // Deliver close notifications asynchronously, like RST segments.
+  sim_.schedule(conn->link.one_way, [this, id, reason]() {
+    Connection* conn = find(id);
+    if (conn == nullptr) return;
+    if (conn->client.on_close) conn->client.on_close(reason);
+    if (conn->server.on_close) conn->server.on_close(reason);
+  });
+}
+
+}  // namespace origin::netsim

@@ -1,0 +1,42 @@
+#include "netsim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace origin::netsim {
+
+void Simulator::schedule_at(origin::util::SimTime when, Action action) {
+  // Events can never fire in the past; clamp to now (zero-delay events are
+  // common for immediate callbacks).
+  if (when < now_) when = now_;
+  queue_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+bool Simulator::run_one() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; move via const_cast is the standard
+  // idiom-free workaround — copy the action handle instead (cheap).
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.when;
+  ++executed_;
+  event.action();
+  return true;
+}
+
+void Simulator::run_until_idle(std::size_t max_events) {
+  std::size_t n = 0;
+  while (run_one()) {
+    if (++n > max_events) {
+      assert(false && "netsim: event budget exhausted (scheduling loop?)");
+      return;
+    }
+  }
+}
+
+void Simulator::run_until(origin::util::SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) run_one();
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace origin::netsim

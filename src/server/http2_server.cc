@@ -1,0 +1,118 @@
+#include "server/http2_server.h"
+
+namespace origin::server {
+
+Http2Server::Http2Server(ServerConfig config) : config_(std::move(config)) {}
+
+void Http2Server::add_vhost(std::string hostname, Handler handler) {
+  vhosts_[std::move(hostname)] = std::move(handler);
+}
+
+void Http2Server::set_certificate(tls::Certificate cert) {
+  certs_.add(std::move(cert));
+}
+
+void Http2Server::set_origin_set(std::vector<std::string> origins) {
+  config_.origin_set = std::move(origins);
+}
+
+void Http2Server::listen(netsim::Network& network, dns::IpAddress address) {
+  network.listen(address,
+                 [this](netsim::TcpEndpoint endpoint) { accept(endpoint); });
+}
+
+void Http2Server::flush(Session& session) {
+  if (session.connection->has_output() && session.endpoint.open()) {
+    session.endpoint.send(session.connection->take_output());
+  }
+}
+
+void Http2Server::accept(netsim::TcpEndpoint endpoint) {
+  ++stats_.connections;
+  auto session = std::make_shared<Session>();
+  session->endpoint = endpoint;
+  h2::Origin server_origin;  // servers do not consume the origin set
+  session->connection = std::make_shared<h2::Connection>(
+      h2::Connection::Role::kServer, server_origin, config_.settings);
+
+  h2::ConnectionCallbacks callbacks;
+  Session* raw = session.get();
+  callbacks.on_headers = [this, raw](std::uint32_t stream_id,
+                                     const hpack::HeaderList& headers, bool) {
+    handle_request(*raw, stream_id, headers);
+  };
+  session->connection->set_callbacks(std::move(callbacks));
+
+  // First flight: SETTINGS (already queued) plus the ORIGIN frame, which
+  // RFC 8336 encourages sending as early as possible on stream 0.
+  if (!config_.origin_set.empty()) {
+    (void)session->connection->submit_origin(config_.origin_set);
+    ++stats_.origin_frames_sent;
+  }
+
+  session->endpoint.set_on_receive(
+      [this, raw](std::span<const std::uint8_t> bytes) {
+        (void)raw->connection->receive(bytes);
+        flush(*raw);
+      });
+  flush(*session);
+  sessions_.push_back(std::move(session));
+}
+
+void Http2Server::handle_request(Session& session, std::uint32_t stream_id,
+                                 const hpack::HeaderList& headers) {
+  ++stats_.requests;
+  const std::string authority = header_value(headers, ":authority");
+  const std::string path = header_value(headers, ":path");
+
+  auto vhost = vhosts_.find(authority);
+  if (vhost == vhosts_.end()) {
+    // The certificate may cover this name, but this deployment has no
+    // content for it: 421 tells the client to retry on a fresh connection
+    // (RFC 9113 §8.1.2; paper §2.2). The certificate stays valid.
+    ++stats_.responses_421;
+    (void)session.connection->submit_response(
+        stream_id,
+        {{":status", "421"}, {"content-type", "text/plain"}}, false);
+    (void)session.connection->submit_data(
+        stream_id, origin::util::from_string("421 Misdirected Request"),
+        true);
+    flush(session);
+    return;
+  }
+
+  Response response = vhost->second(path);
+  if (response.status == 200) {
+    ++stats_.responses_200;
+  } else if (response.status == 404) {
+    ++stats_.responses_404;
+  }
+  (void)session.connection->submit_response(
+      stream_id,
+      {{":status", std::to_string(response.status)},
+       {"content-type", response.content_type},
+       {"content-length", std::to_string(response.body.size())}},
+      response.body.empty());
+  if (!response.body.empty()) {
+    (void)session.connection->submit_data(stream_id, response.body, true);
+  }
+  flush(session);
+}
+
+hpack::HeaderList make_get_request(const std::string& authority,
+                                   const std::string& path) {
+  return {{":method", "GET"},
+          {":scheme", "https"},
+          {":authority", authority},
+          {":path", path}};
+}
+
+std::string header_value(const hpack::HeaderList& headers,
+                         const std::string& name) {
+  for (const auto& header : headers) {
+    if (header.name == name) return header.value;
+  }
+  return "";
+}
+
+}  // namespace origin::server

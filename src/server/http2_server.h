@@ -1,0 +1,98 @@
+// HTTP/2 origin server.
+//
+// This is the server-side ORIGIN frame implementation the paper notes did
+// not exist in any production web server (§1, §5.3): a connection-
+// terminating process that (a) selects a certificate by SNI, (b) advertises
+// a configured origin set on stream 0 of every new connection, (c) serves
+// configured virtual hosts, and (d) answers 421 Misdirected Request for
+// authority the certificate covers but this deployment cannot serve —
+// exactly the fail-open contract §2.2 describes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "h2/connection.h"
+#include "netsim/network.h"
+#include "tls/sni.h"
+#include "web/resource.h"
+
+namespace origin::server {
+
+struct Response {
+  int status = 200;
+  std::string content_type = "text/html";
+  origin::util::Bytes body;
+};
+
+using Handler = std::function<Response(const std::string& path)>;
+
+struct VirtualHost {
+  std::string hostname;
+  Handler handler;
+};
+
+struct ServerConfig {
+  // Origins advertised in the ORIGIN frame on every new connection. Empty
+  // disables the extension (a pre-RFC-8336 server).
+  std::vector<std::string> origin_set;
+  h2::Settings settings;
+};
+
+class Http2Server {
+ public:
+  explicit Http2Server(ServerConfig config = {});
+
+  void add_vhost(std::string hostname, Handler handler);
+  void set_certificate(tls::Certificate cert);
+  const tls::CertStore& cert_store() const { return certs_; }
+
+  // Replaces the advertised origin set (reconfiguration at runtime, as the
+  // CDN deployment did between experiments).
+  void set_origin_set(std::vector<std::string> origins);
+
+  // Binds the server to an address on the simulated network.
+  void listen(netsim::Network& network, dns::IpAddress address);
+
+  struct Stats {
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t responses_200 = 0;
+    std::uint64_t responses_404 = 0;
+    std::uint64_t responses_421 = 0;
+    std::uint64_t origin_frames_sent = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Session {
+    std::shared_ptr<h2::Connection> connection;
+    netsim::TcpEndpoint endpoint;
+  };
+
+  void accept(netsim::TcpEndpoint endpoint);
+  void handle_request(Session& session, std::uint32_t stream_id,
+                      const hpack::HeaderList& headers);
+  void flush(Session& session);
+
+  ServerConfig config_;
+  std::map<std::string, Handler> vhosts_;
+  tls::CertStore certs_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+  Stats stats_;
+};
+
+// Convenience: header list for a GET request (client side).
+hpack::HeaderList make_get_request(const std::string& authority,
+                                   const std::string& path);
+
+// Extracts a pseudo-header value ("" when absent).
+std::string header_value(const hpack::HeaderList& headers,
+                         const std::string& name);
+
+}  // namespace origin::server

@@ -1,0 +1,45 @@
+// TLS handshake cost model.
+//
+// TLS 1.3 completes in one round trip, but the server's certificate chain
+// rides in the first flight: when the chain exceeds what the server's
+// initial congestion window can carry, the client needs additional round
+// trips before it can finish the handshake (paper §6.5, citing [16]).
+// TLS records also cap at 16 KiB, so oversized certificates fragment.
+// Browsers reject absurdly large certificates outright (the paper cites
+// 10000-SAN badssl failing to load).
+#pragma once
+
+#include <cstdint>
+
+#include "tls/certificate.h"
+#include "util/sim_time.h"
+
+namespace origin::tls {
+
+struct HandshakeParams {
+  origin::util::Duration rtt = origin::util::Duration::millis(30);
+  // Server initial congestion window in bytes (10 segments of ~1460B).
+  std::size_t init_cwnd_bytes = 14600;
+  std::size_t tls_record_limit = 16384;
+  // Chains at/above this size abort with an SSL protocol error in browsers.
+  std::size_t browser_chain_limit = 262144;
+  // Fixed crypto compute per handshake (key exchange + signature verify).
+  origin::util::Duration crypto_cost = origin::util::Duration::millis(1.0);
+};
+
+struct HandshakeResult {
+  bool ok = false;
+  origin::util::Duration duration;
+  int round_trips = 0;        // network RTTs consumed
+  int tls_records = 0;        // records carrying the certificate chain
+  std::size_t chain_bytes = 0;
+};
+
+// Cost of a full TLS 1.3 handshake presenting `chain`.
+HandshakeResult simulate_handshake(const CertificateChain& chain,
+                                   const HandshakeParams& params);
+
+// Cost of a TLS 1.3 0-RTT resumption (no certificate transfer).
+HandshakeResult simulate_resumption(const HandshakeParams& params);
+
+}  // namespace origin::tls

@@ -1,0 +1,54 @@
+#include "tls/ocsp.h"
+
+namespace origin::tls {
+
+const char* ocsp_status_name(OcspStatus status) {
+  switch (status) {
+    case OcspStatus::kGood: return "good";
+    case OcspStatus::kRevoked: return "revoked";
+    case OcspStatus::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+void OcspResponder::revoke(std::uint64_t serial, origin::util::SimTime when) {
+  revoked_.emplace(serial, when);
+}
+
+OcspResponse OcspResponder::query(const Certificate& cert,
+                                  origin::util::SimTime now) const {
+  ++queries_;
+  OcspResponse response;
+  response.produced_at = now;
+  response.next_update = now + validity_;
+  response.responder_key = ca_.key_id();
+  if (cert.issuer_key_id != ca_.key_id()) {
+    response.status = OcspStatus::kUnknown;  // not our certificate
+    return response;
+  }
+  auto it = revoked_.find(cert.serial);
+  response.status = (it != revoked_.end() && now >= it->second)
+                        ? OcspStatus::kRevoked
+                        : OcspStatus::kGood;
+  return response;
+}
+
+bool OcspChecker::check(const Certificate& cert, origin::util::SimTime now) {
+  auto cached = cache_.find(cert.serial);
+  if (cached != cache_.end() && now < cached->second.response.next_update) {
+    ++cache_hits_;
+    return cached->second.response.status != OcspStatus::kRevoked;
+  }
+  for (const auto* responder : responders_) {
+    ++network_queries_;
+    OcspResponse response = responder->query(cert, now);
+    if (response.status == OcspStatus::kUnknown) continue;
+    cache_[cert.serial] = CacheEntry{response};
+    return response.status != OcspStatus::kRevoked;
+  }
+  // No responder knew the certificate: soft-fail accepts, hard-fail
+  // rejects.
+  return !hard_fail_;
+}
+
+}  // namespace origin::tls

@@ -1,0 +1,79 @@
+// Online Certificate Status Protocol (RFC 6960; paper §6.2).
+//
+// The paper notes OCSP as the revocation channel that keeps confidence in
+// a certificate's validity *without DNS* — relevant because ORIGIN-based
+// coalescing removes the per-subresource DNS touchpoint. Each CA runs a
+// responder; clients check leaf status (with response caching and the
+// industry-standard soft-fail default) as part of validation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "tls/ca.h"
+#include "tls/certificate.h"
+#include "util/sim_time.h"
+
+namespace origin::tls {
+
+enum class OcspStatus { kGood, kRevoked, kUnknown };
+
+const char* ocsp_status_name(OcspStatus status);
+
+struct OcspResponse {
+  OcspStatus status = OcspStatus::kUnknown;
+  origin::util::SimTime produced_at;
+  origin::util::SimTime next_update;  // validity horizon of this response
+  std::uint64_t responder_key = 0;    // "signed by" the CA's key
+};
+
+// One CA's OCSP responder.
+class OcspResponder {
+ public:
+  OcspResponder(const CertificateAuthority& ca,
+                origin::util::Duration validity =
+                    origin::util::Duration::seconds(7 * 86400.0))
+      : ca_(ca), validity_(validity) {}
+
+  // Marks a serial revoked from `when` onward.
+  void revoke(std::uint64_t serial, origin::util::SimTime when);
+
+  OcspResponse query(const Certificate& cert, origin::util::SimTime now) const;
+  std::uint64_t queries_served() const { return queries_; }
+
+ private:
+  const CertificateAuthority& ca_;
+  origin::util::Duration validity_;
+  std::map<std::uint64_t, origin::util::SimTime> revoked_;
+  mutable std::uint64_t queries_ = 0;
+};
+
+// Client-side checker: caches responses until next_update; unreachable or
+// unknown responders soft-fail (browsers' long-standing behaviour) unless
+// hard-fail is requested.
+class OcspChecker {
+ public:
+  void add_responder(const OcspResponder* responder) {
+    responders_.push_back(responder);
+  }
+  void set_hard_fail(bool hard_fail) { hard_fail_ = hard_fail; }
+
+  // True when the certificate is acceptable revocation-wise.
+  bool check(const Certificate& cert, origin::util::SimTime now);
+
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t network_queries() const { return network_queries_; }
+
+ private:
+  std::vector<const OcspResponder*> responders_;
+  bool hard_fail_ = false;
+  struct CacheEntry {
+    OcspResponse response;
+  };
+  std::map<std::uint64_t, CacheEntry> cache_;  // by serial
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t network_queries_ = 0;
+};
+
+}  // namespace origin::tls

@@ -1,0 +1,46 @@
+#include "tls/sni.h"
+
+#include "util/strings.h"
+
+namespace origin::tls {
+
+std::size_t CertStore::add(Certificate cert) {
+  certs_.push_back(std::move(cert));
+  return certs_.size() - 1;
+}
+
+void CertStore::replace(std::size_t slot, Certificate cert) {
+  certs_.at(slot) = std::move(cert);
+}
+
+const Certificate* CertStore::select(std::string_view sni) const {
+  const Certificate* best = nullptr;
+  bool best_exact = false;
+  for (const auto& cert : certs_) {
+    bool exact = false;
+    bool covered = false;
+    for (const auto& san : cert.san_dns) {
+      if (san == sni) {
+        exact = true;
+        covered = true;
+        break;
+      }
+      if (origin::util::wildcard_matches(san, sni)) covered = true;
+    }
+    if (!covered && cert.san_dns.empty() &&
+        origin::util::wildcard_matches(cert.subject_common_name, sni)) {
+      covered = true;
+      exact = cert.subject_common_name == sni;
+    }
+    if (!covered) continue;
+    if (best == nullptr || (exact && !best_exact) ||
+        (exact == best_exact &&
+         cert.san_dns.size() < best->san_dns.size())) {
+      best = &cert;
+      best_exact = exact;
+    }
+  }
+  return best;
+}
+
+}  // namespace origin::tls

@@ -1,0 +1,36 @@
+// Server-side certificate selection by TLS SNI.
+//
+// A server (or CDN edge) holds many certificates; on ClientHello it picks
+// the one that covers the SNI hostname, preferring an exact SAN match over
+// a wildcard match, then the certificate with fewer SAN entries (the most
+// specific deployment artifact).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tls/certificate.h"
+
+namespace origin::tls {
+
+class CertStore {
+ public:
+  // Adds a certificate; returns its slot id for later replacement.
+  std::size_t add(Certificate cert);
+
+  // Replaces the certificate in `slot` (certificate rotation/reissue).
+  void replace(std::size_t slot, Certificate cert);
+
+  // Picks the best certificate for `sni`, or nullptr when none covers it.
+  const Certificate* select(std::string_view sni) const;
+
+  std::size_t size() const { return certs_.size(); }
+  const std::vector<Certificate>& all() const { return certs_; }
+
+ private:
+  std::vector<Certificate> certs_;
+};
+
+}  // namespace origin::tls

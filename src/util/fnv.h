@@ -1,0 +1,36 @@
+// FNV-1a 64-bit hashing. Used for deterministic identifiers (simulated
+// certificate signatures, connection ids) — NOT cryptographic.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace origin::util {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr std::uint64_t fnv1a64(std::string_view data,
+                                std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+constexpr std::uint64_t fnv1a64_mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t h = kFnvOffset;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (a >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+  for (int i = 0; i < 8; ++i) {
+    h ^= (b >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace origin::util

@@ -1,0 +1,89 @@
+// Minimal JSON value model, writer, and parser — enough for HAR files.
+//
+// Supports the JSON subset HAR 1.2 uses: objects, arrays, strings (with
+// escape handling), doubles/integers, booleans, null. No streaming; HAR
+// files in this repo are bounded by one page load.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/result.h"
+
+namespace origin::util {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  // std::map keeps key order deterministic (alphabetical) for stable
+  // golden-file comparisons.
+  using Object = std::map<std::string, Json>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}          // NOLINT
+  Json(bool b) : value_(b) {}                        // NOLINT
+  Json(double d) : value_(d) {}                      // NOLINT
+  Json(std::int64_t i) : value_(i) {}                // NOLINT
+  Json(int i) : value_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Json(std::uint64_t u) : value_(static_cast<std::int64_t>(u)) {}  // NOLINT
+  Json(const char* s) : value_(std::string(s)) {}    // NOLINT
+  Json(std::string s) : value_(std::move(s)) {}      // NOLINT
+  Json(Array a) : value_(std::move(a)) {}            // NOLINT
+  Json(Object o) : value_(std::move(o)) {}           // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const {
+    return std::holds_alternative<double>(value_) ||
+           std::holds_alternative<std::int64_t>(value_);
+  }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  bool as_bool() const { return std::get<bool>(value_); }
+  double as_double() const {
+    if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+      return static_cast<double>(*i);
+    }
+    return std::get<double>(value_);
+  }
+  std::int64_t as_int() const {
+    if (const auto* d = std::get_if<double>(&value_)) {
+      return static_cast<std::int64_t>(*d);
+    }
+    return std::get<std::int64_t>(value_);
+  }
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+  const Array& as_array() const { return std::get<Array>(value_); }
+  Array& as_array() { return std::get<Array>(value_); }
+  const Object& as_object() const { return std::get<Object>(value_); }
+  Object& as_object() { return std::get<Object>(value_); }
+
+  // Object member access; returns a shared null for missing keys.
+  const Json& operator[](const std::string& key) const;
+  Json& operator[](const std::string& key) {
+    return std::get<Object>(value_)[key];
+  }
+  bool contains(const std::string& key) const {
+    return is_object() && as_object().count(key) > 0;
+  }
+
+  // Serializes compactly; `indent` > 0 pretty-prints.
+  std::string dump(int indent = 0) const;
+
+  static Result<Json> parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::int64_t, std::string, Array,
+               Object>
+      value_;
+};
+
+}  // namespace origin::util

@@ -1,0 +1,77 @@
+// Minimal expected-like result type used across the codec layers.
+//
+// The harness predates std::expected availability here; this covers the
+// subset we need (value-or-error, monadic map) without exceptions on the
+// hot path.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace origin::util {
+
+struct Error {
+  std::string message;
+};
+
+inline Error make_error(std::string message) { return Error{std::move(message)}; }
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : storage_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(storage_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT
+
+  static Status ok_status() { return Status{}; }
+  bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const {
+    assert(failed_);
+    return error_;
+  }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+}  // namespace origin::util

@@ -1,0 +1,61 @@
+// Deterministic random number generation.
+//
+// Every experiment in this repository must reproduce bit-identically from a
+// seed, so we implement our own generator (xoshiro256++) and our own
+// distributions rather than relying on implementation-defined behaviour of
+// <random> distributions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace origin::util {
+
+// xoshiro256++ (Blackman & Vigna). Seeded through SplitMix64 so that any
+// 64-bit seed yields a well-mixed state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next();
+
+  // Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t uniform(std::uint64_t bound);
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+  // Uniform in [0, 1).
+  double uniform_double();
+  bool bernoulli(double p);
+
+  // Lognormal via Box-Muller: exp(mu + sigma * N(0,1)).
+  double lognormal(double mu, double sigma);
+  double normal(double mu, double sigma);
+  double exponential(double mean);
+  // Bounded Pareto on [lo, hi] with shape alpha. Heavy-tailed counts.
+  double pareto(double lo, double hi, double alpha);
+
+  // Zipf-like rank sampling over [0, n): rank r picked with probability
+  // proportional to 1/(r+1)^s. Used for popularity-skewed choices.
+  std::size_t zipf(std::size_t n, double s);
+
+  // Picks an index with probability proportional to weights[i].
+  std::size_t weighted(std::span<const double> weights);
+
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[uniform(items.size())];
+  }
+
+  // Derives an independent child generator; used to give each website its
+  // own stream so corpus generation is order-independent.
+  Rng fork(std::uint64_t salt);
+
+ private:
+  std::uint64_t state_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace origin::util

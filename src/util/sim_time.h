@@ -1,0 +1,63 @@
+// Simulated-time primitives. The discrete-event simulator and the HAR-style
+// timelines use microsecond-resolution integer time so that reconstructed
+// timelines subtract exactly and reproducibly.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace origin::util {
+
+class Duration {
+ public:
+  constexpr Duration() = default;
+  static constexpr Duration micros(std::int64_t us) { return Duration(us); }
+  static constexpr Duration millis(double ms) {
+    return Duration(static_cast<std::int64_t>(ms * 1000.0));
+  }
+  static constexpr Duration seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1'000'000.0));
+  }
+
+  constexpr std::int64_t count_micros() const { return us_; }
+  constexpr double as_millis() const { return static_cast<double>(us_) / 1000.0; }
+  constexpr double as_seconds() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr Duration operator+(Duration other) const { return Duration(us_ + other.us_); }
+  constexpr Duration operator-(Duration other) const { return Duration(us_ - other.us_); }
+  constexpr Duration operator*(double k) const {
+    return Duration(static_cast<std::int64_t>(static_cast<double>(us_) * k));
+  }
+  Duration& operator+=(Duration other) {
+    us_ += other.us_;
+    return *this;
+  }
+  auto operator<=>(const Duration&) const = default;
+
+ private:
+  constexpr explicit Duration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  static constexpr SimTime from_micros(std::int64_t us) { return SimTime(us); }
+
+  constexpr std::int64_t micros() const { return us_; }
+  constexpr double as_millis() const { return static_cast<double>(us_) / 1000.0; }
+  constexpr double as_seconds() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr SimTime operator+(Duration d) const { return SimTime(us_ + d.count_micros()); }
+  constexpr Duration operator-(SimTime other) const {
+    return Duration::micros(us_ - other.us_);
+  }
+  auto operator<=>(const SimTime&) const = default;
+
+ private:
+  constexpr explicit SimTime(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+}  // namespace origin::util

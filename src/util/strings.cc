@@ -1,0 +1,95 @@
+#include "util/strings.h"
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+
+namespace origin::util {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t end = s.find(sep, start);
+    if (end == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string registrable_domain(std::string_view hostname) {
+  static constexpr std::array<std::string_view, 8> kTwoLabelSuffixes = {
+      "co.uk", "com.au", "co.jp", "com.br", "co.in", "org.uk", "net.au",
+      "ac.uk"};
+  auto labels = split(hostname, '.');
+  if (labels.size() <= 2) return std::string(hostname);
+  std::string last_two = labels[labels.size() - 2] + "." + labels.back();
+  for (auto suffix : kTwoLabelSuffixes) {
+    if (last_two == suffix) {
+      return labels[labels.size() - 3] + "." + last_two;
+    }
+  }
+  return last_two;
+}
+
+bool wildcard_matches(std::string_view pattern, std::string_view hostname) {
+  if (pattern == hostname) return true;
+  if (!starts_with(pattern, "*.")) return false;
+  std::string_view base = pattern.substr(2);
+  // The wildcard covers exactly one label: "*.example.com" matches
+  // "a.example.com" but neither "example.com" nor "a.b.example.com".
+  std::size_t dot = hostname.find('.');
+  if (dot == std::string_view::npos) return false;
+  return hostname.substr(dot + 1) == base;
+}
+
+std::string format_double(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string format_count(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  int counter = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (counter > 0 && counter % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++counter;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+std::string format_pct(double fraction, int decimals) {
+  return format_double(fraction * 100.0, decimals) + "%";
+}
+
+}  // namespace origin::util

@@ -1,0 +1,30 @@
+// Small string helpers shared across modules (hostname handling, table
+// formatting). Hostnames in this codebase are always lowercase ASCII.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace origin::util {
+
+std::vector<std::string> split(std::string_view s, char sep);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+std::string to_lower(std::string_view s);
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+// "images.example.com" -> "example.com"; best-effort eTLD+1 with a small
+// built-in list of two-label public suffixes (co.uk, com.au, ...).
+std::string registrable_domain(std::string_view hostname);
+
+// Does `pattern` (possibly "*.example.com") cover `hostname` under RFC 6125
+// wildcard rules (single left-most label only)?
+bool wildcard_matches(std::string_view pattern, std::string_view hostname);
+
+// Fixed-width number rendering for bench tables.
+std::string format_double(double v, int decimals);
+std::string format_count(std::uint64_t v);  // thousands separators
+std::string format_pct(double fraction, int decimals = 2);
+
+}  // namespace origin::util

@@ -1,0 +1,75 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace origin::util {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != ',' &&
+        c != '-' && c != '+' && c != '%' && c != '=' && c != 'e') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render(int indent) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  // Right-align a column if every non-empty cell looks numeric.
+  std::vector<bool> right(headers_.size(), true);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    for (const auto& row : rows_) {
+      if (!row[c].empty() && !looks_numeric(row[c])) {
+        right[c] = false;
+        break;
+      }
+    }
+  }
+
+  std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out += pad;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::string& cell = cells[c];
+      std::string fill(widths[c] - cell.size(), ' ');
+      out += (right[c] ? fill + cell : cell + fill);
+      if (c + 1 < cells.size()) out += "  ";
+    }
+    // Trim trailing spaces.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+
+  emit_row(headers_);
+  out += pad;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    out += std::string(widths[c], '-');
+    if (c + 1 < widths.size()) out += "  ";
+  }
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+}  // namespace origin::util

@@ -1,0 +1,24 @@
+// ASCII table renderer for the bench binaries that regenerate the paper's
+// tables. Column widths auto-fit; numeric columns right-align.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace origin::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  // Renders with a header rule and column padding. `indent` prefixes every
+  // line (benches nest tables under figure titles).
+  std::string render(int indent = 0) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace origin::util

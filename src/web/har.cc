@@ -1,0 +1,55 @@
+#include "web/har.h"
+
+#include <algorithm>
+#include <set>
+
+namespace origin::web {
+
+origin::util::Duration PageLoad::page_load_time() const {
+  origin::util::SimTime page_end;
+  origin::util::SimTime page_start = origin::util::SimTime::from_micros(
+      entries.empty() ? 0 : entries.front().start.micros());
+  for (const auto& entry : entries) {
+    page_start = std::min(page_start, entry.start);
+    page_end = std::max(page_end, entry.end());
+  }
+  return page_end - page_start;
+}
+
+std::size_t PageLoad::dns_query_count() const {
+  return extra_dns_queries +
+         static_cast<std::size_t>(
+             std::count_if(entries.begin(), entries.end(),
+                           [](const HarEntry& e) { return e.new_dns_query; }));
+}
+
+std::size_t PageLoad::tls_connection_count() const {
+  return extra_tls_connections +
+         static_cast<std::size_t>(std::count_if(
+             entries.begin(), entries.end(),
+             [](const HarEntry& e) { return e.new_tls_connection; }));
+}
+
+std::size_t PageLoad::certificate_validation_count() const {
+  return static_cast<std::size_t>(std::count_if(
+      entries.begin(), entries.end(),
+      [](const HarEntry& e) { return e.cert_san_count >= 0; }));
+}
+
+std::size_t PageLoad::unique_connection_count() const {
+  std::set<std::uint64_t> ids;
+  for (const auto& entry : entries) {
+    if (entry.connection_id != 0) ids.insert(entry.connection_id);
+  }
+  return ids.size();
+}
+
+std::vector<std::uint32_t> PageLoad::unique_asns() const {
+  std::set<std::uint32_t> asns;
+  for (const auto& entry : entries) {
+    if (entry.asn != 0) asns.insert(entry.asn);
+  }
+  return {asns.begin(), asns.end()};
+}
+
+}  // namespace origin::web

@@ -1,0 +1,86 @@
+// HAR-style page-load timelines.
+//
+// Each request's life is split into the same phases WebPageTest exports and
+// §4.1 of the paper reconstructs: blocked (queued behind dependency
+// parsing), dns, connect (TCP), ssl (TLS), send, wait (TTFB), receive.
+// The coalescing model removes dns+connect+ssl from coalescable entries and
+// compacts the schedule; everything here is therefore integer microseconds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/record.h"
+#include "util/sim_time.h"
+#include "web/resource.h"
+
+namespace origin::web {
+
+struct PhaseTimings {
+  origin::util::Duration blocked;
+  origin::util::Duration dns;
+  origin::util::Duration connect;  // TCP handshake
+  origin::util::Duration ssl;      // TLS handshake
+  origin::util::Duration send;
+  origin::util::Duration wait;
+  origin::util::Duration receive;
+
+  origin::util::Duration total() const {
+    return blocked + dns + connect + ssl + send + wait + receive;
+  }
+  // The setup phases a coalesced request skips.
+  origin::util::Duration setup() const { return dns + connect + ssl; }
+};
+
+struct HarEntry {
+  int resource_index = -1;  // into Webpage::resources
+  std::string hostname;
+  dns::IpAddress server_address;
+  // All addresses DNS returned (needed for the transitivity analysis).
+  std::vector<dns::IpAddress> dns_answer_set;
+  std::uint32_t asn = 0;
+  HttpVersion version = HttpVersion::kH2;
+  bool secure = true;
+  RequestMode mode = RequestMode::kSubresource;
+  ContentType content_type = ContentType::kOther;
+
+  origin::util::SimTime start;
+  PhaseTimings timings;
+
+  bool new_dns_query = false;       // a recursive (non-cache) lookup happened
+  bool new_tls_connection = false;  // a fresh TCP+TLS connection was opened
+  // A speculative duplicate socket was opened alongside this connection
+  // (§4.2 race); costs a handshake at this hostname but carries nothing.
+  bool speculative_duplicate = false;
+  std::uint64_t connection_id = 0;  // which connection carried the request
+  std::uint64_t cert_serial = 0;    // certificate validated (0 = none/new)
+  std::string cert_issuer;
+  std::int64_t cert_san_count = -1;  // -1 = no validation on this request
+  bool status_421 = false;           // Misdirected Request on reuse attempt
+
+  origin::util::SimTime end() const { return start + timings.total(); }
+};
+
+struct PageLoad {
+  std::uint64_t tranco_rank = 0;
+  std::string base_hostname;
+  bool success = true;
+  std::vector<HarEntry> entries;
+  // Browser race artifacts (§4.2): queries/connections that happened but
+  // carry no request of their own — happy-eyeballs double queries and
+  // speculative duplicate sockets. Counted into the totals below.
+  std::size_t extra_dns_queries = 0;
+  std::size_t extra_tls_connections = 0;
+
+  origin::util::Duration page_load_time() const;
+  std::size_t request_count() const { return entries.size(); }
+  // Includes race extras.
+  std::size_t dns_query_count() const;
+  std::size_t tls_connection_count() const;
+  std::size_t certificate_validation_count() const;
+  std::size_t unique_connection_count() const;
+  std::vector<std::uint32_t> unique_asns() const;
+};
+
+}  // namespace origin::web

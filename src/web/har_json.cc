@@ -1,0 +1,218 @@
+#include "web/har_json.h"
+
+namespace origin::web {
+
+using origin::util::Json;
+using origin::util::make_error;
+using origin::util::Result;
+
+namespace {
+
+Json timings_json(const PhaseTimings& timings) {
+  Json::Object out;
+  out["blocked"] = timings.blocked.as_millis();
+  out["dns"] = timings.dns.as_millis();
+  out["connect"] = timings.connect.as_millis();
+  out["ssl"] = timings.ssl.as_millis();
+  out["send"] = timings.send.as_millis();
+  out["wait"] = timings.wait.as_millis();
+  out["receive"] = timings.receive.as_millis();
+  return Json(std::move(out));
+}
+
+origin::util::Duration millis_field(const Json& timings, const char* key) {
+  return origin::util::Duration::millis(timings[key].as_double());
+}
+
+Json entry_json(const HarEntry& entry) {
+  Json::Object request;
+  request["method"] = "GET";
+  request["url"] = std::string(entry.secure ? "https://" : "http://") +
+                   entry.hostname + "/";
+  request["httpVersion"] = web::http_version_name(entry.version);
+
+  Json::Object response;
+  response["status"] = entry.status_421 ? 421 : 200;
+  Json::Object content;
+  content["mimeType"] = web::content_type_name(entry.content_type);
+  response["content"] = Json(std::move(content));
+
+  // Reproduction-specific fields travel in an extension block, as HAR
+  // custom fields conventionally do (leading underscore).
+  Json::Object extension;
+  extension["resourceIndex"] = entry.resource_index;
+  extension["asn"] = static_cast<std::int64_t>(entry.asn);
+  extension["serverAddress"] = entry.server_address.to_string();
+  extension["addressValue"] = static_cast<std::int64_t>(entry.server_address.value);
+  extension["addressV6"] = entry.server_address.family == dns::Family::kV6;
+  Json::Array answers;
+  for (const auto& address : entry.dns_answer_set) {
+    answers.push_back(Json(static_cast<std::int64_t>(address.value)));
+  }
+  extension["dnsAnswerSet"] = Json(std::move(answers));
+  extension["mode"] = web::request_mode_name(entry.mode);
+  extension["newDnsQuery"] = entry.new_dns_query;
+  extension["newTlsConnection"] = entry.new_tls_connection;
+  extension["speculativeDuplicate"] = entry.speculative_duplicate;
+  extension["connectionId"] = static_cast<std::int64_t>(entry.connection_id);
+  extension["certSerial"] = static_cast<std::int64_t>(entry.cert_serial);
+  extension["certIssuer"] = entry.cert_issuer;
+  extension["certSanCount"] = entry.cert_san_count;
+
+  Json::Object out;
+  out["startedDateTime"] = entry.start.as_millis();
+  out["time"] = entry.timings.total().as_millis();
+  out["request"] = Json(std::move(request));
+  out["response"] = Json(std::move(response));
+  out["timings"] = timings_json(entry.timings);
+  out["serverIPAddress"] = entry.server_address.to_string();
+  out["_origin"] = Json(std::move(extension));
+  return Json(std::move(out));
+}
+
+HttpVersion version_from_name(const std::string& name) {
+  for (auto version :
+       {HttpVersion::kH09, HttpVersion::kH10, HttpVersion::kH11,
+        HttpVersion::kH2, HttpVersion::kH3, HttpVersion::kQuic,
+        HttpVersion::kUnknown}) {
+    if (name == http_version_name(version)) return version;
+  }
+  return HttpVersion::kUnknown;
+}
+
+ContentType content_type_from_name(const std::string& name) {
+  for (auto type :
+       {ContentType::kHtml, ContentType::kJavascript,
+        ContentType::kTextJavascript, ContentType::kXJavascript,
+        ContentType::kCss, ContentType::kJpeg, ContentType::kPng,
+        ContentType::kGif, ContentType::kWebp, ContentType::kFontWoff2,
+        ContentType::kJson, ContentType::kPlain, ContentType::kOther}) {
+    if (name == content_type_name(type)) return type;
+  }
+  return ContentType::kOther;
+}
+
+RequestMode mode_from_name(const std::string& name) {
+  for (auto mode :
+       {RequestMode::kNavigation, RequestMode::kSubresource,
+        RequestMode::kCorsAnonymous, RequestMode::kFetchApi}) {
+    if (name == request_mode_name(mode)) return mode;
+  }
+  return RequestMode::kSubresource;
+}
+
+}  // namespace
+
+Json to_har_json(const PageLoad& load) {
+  Json::Object creator;
+  creator["name"] = "respect-the-origin-repro";
+  creator["version"] = "1.0";
+
+  Json::Object page;
+  page["id"] = load.base_hostname;
+  page["title"] = std::string("https://") + load.base_hostname + "/";
+  Json::Object page_timings;
+  page_timings["onLoad"] = load.page_load_time().as_millis();
+  page["pageTimings"] = Json(std::move(page_timings));
+  page["_trancoRank"] = static_cast<std::int64_t>(load.tranco_rank);
+  page["_success"] = load.success;
+  page["_extraDnsQueries"] = load.extra_dns_queries;
+  page["_extraTlsConnections"] = load.extra_tls_connections;
+
+  Json::Array entries;
+  for (const auto& entry : load.entries) entries.push_back(entry_json(entry));
+
+  Json::Object log;
+  log["version"] = "1.2";
+  log["creator"] = Json(std::move(creator));
+  log["pages"] = Json(Json::Array{Json(std::move(page))});
+  log["entries"] = Json(std::move(entries));
+
+  Json::Object root;
+  root["log"] = Json(std::move(log));
+  return Json(std::move(root));
+}
+
+std::string to_har_string(const PageLoad& load, int indent) {
+  return to_har_json(load).dump(indent);
+}
+
+Result<PageLoad> from_har_json(const Json& har) {
+  const Json& log = har["log"];
+  if (!log.is_object()) return make_error("har: missing log object");
+  const Json& pages = log["pages"];
+  if (!pages.is_array() || pages.as_array().empty()) {
+    return make_error("har: missing pages");
+  }
+  const Json& page = pages.as_array().front();
+
+  PageLoad load;
+  load.base_hostname = page["id"].as_string();
+  load.tranco_rank =
+      static_cast<std::uint64_t>(page["_trancoRank"].as_int());
+  load.success = page["_success"].is_bool() ? page["_success"].as_bool() : true;
+  load.extra_dns_queries =
+      static_cast<std::size_t>(page["_extraDnsQueries"].as_int());
+  load.extra_tls_connections =
+      static_cast<std::size_t>(page["_extraTlsConnections"].as_int());
+
+  const Json& entries = log["entries"];
+  if (!entries.is_array()) return make_error("har: missing entries");
+  for (const Json& item : entries.as_array()) {
+    HarEntry entry;
+    const Json& extension = item["_origin"];
+    if (!extension.is_object()) return make_error("har: missing _origin block");
+    const std::string& url = item["request"]["url"].as_string();
+    entry.secure = url.rfind("https://", 0) == 0;
+    const std::size_t host_begin = url.find("://") + 3;
+    entry.hostname = url.substr(host_begin, url.find('/', host_begin) - host_begin);
+    entry.version =
+        version_from_name(item["request"]["httpVersion"].as_string());
+    entry.status_421 = item["response"]["status"].as_int() == 421;
+    entry.content_type = content_type_from_name(
+        item["response"]["content"]["mimeType"].as_string());
+    entry.start = origin::util::SimTime::from_micros(static_cast<std::int64_t>(
+        item["startedDateTime"].as_double() * 1000.0));
+    const Json& timings = item["timings"];
+    entry.timings.blocked = millis_field(timings, "blocked");
+    entry.timings.dns = millis_field(timings, "dns");
+    entry.timings.connect = millis_field(timings, "connect");
+    entry.timings.ssl = millis_field(timings, "ssl");
+    entry.timings.send = millis_field(timings, "send");
+    entry.timings.wait = millis_field(timings, "wait");
+    entry.timings.receive = millis_field(timings, "receive");
+
+    entry.resource_index = static_cast<int>(extension["resourceIndex"].as_int());
+    entry.asn = static_cast<std::uint32_t>(extension["asn"].as_int());
+    entry.server_address =
+        extension["addressV6"].as_bool()
+            ? dns::IpAddress::v6(
+                  static_cast<std::uint64_t>(extension["addressValue"].as_int()))
+            : dns::IpAddress::v4(
+                  static_cast<std::uint32_t>(extension["addressValue"].as_int()));
+    for (const Json& value : extension["dnsAnswerSet"].as_array()) {
+      entry.dns_answer_set.push_back(
+          dns::IpAddress::v4(static_cast<std::uint32_t>(value.as_int())));
+    }
+    entry.mode = mode_from_name(extension["mode"].as_string());
+    entry.new_dns_query = extension["newDnsQuery"].as_bool();
+    entry.new_tls_connection = extension["newTlsConnection"].as_bool();
+    entry.speculative_duplicate = extension["speculativeDuplicate"].as_bool();
+    entry.connection_id =
+        static_cast<std::uint64_t>(extension["connectionId"].as_int());
+    entry.cert_serial =
+        static_cast<std::uint64_t>(extension["certSerial"].as_int());
+    entry.cert_issuer = extension["certIssuer"].as_string();
+    entry.cert_san_count = extension["certSanCount"].as_int();
+    load.entries.push_back(std::move(entry));
+  }
+  return load;
+}
+
+Result<PageLoad> from_har_string(std::string_view text) {
+  auto parsed = Json::parse(text);
+  if (!parsed.ok()) return parsed.error();
+  return from_har_json(parsed.value());
+}
+
+}  // namespace origin::web

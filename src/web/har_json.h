@@ -1,0 +1,28 @@
+// HAR 1.2 serialization of page loads.
+//
+// The paper's pipeline stored each page load as an HTTP Archive file from
+// Chrome devtools; the §4 model consumed those files. This module writes
+// our PageLoad structures as standards-shaped HAR JSON (log/entries with
+// startedDateTime, timings {blocked, dns, connect, ssl, send, wait,
+// receive}, request/response skeletons plus an `_origin` extension block
+// for the reproduction-specific fields) and reads them back, so corpora
+// can be exported for external tooling and reimported losslessly.
+#pragma once
+
+#include <string>
+
+#include "util/json.h"
+#include "util/result.h"
+#include "web/har.h"
+
+namespace origin::web {
+
+// Builds the HAR JSON document for one page load.
+origin::util::Json to_har_json(const PageLoad& load);
+std::string to_har_string(const PageLoad& load, int indent = 2);
+
+// Parses a HAR document produced by to_har_json back into a PageLoad.
+origin::util::Result<PageLoad> from_har_json(const origin::util::Json& har);
+origin::util::Result<PageLoad> from_har_string(std::string_view text);
+
+}  // namespace origin::web

@@ -1,0 +1,89 @@
+// Web resource model: what a page is made of.
+//
+// Content types mirror Table 5 of the paper; request mechanics that matter
+// to coalescing are carried per resource: the `crossorigin=anonymous`
+// attribute and fetch()/XMLHttpRequest usage both prevented coalescing in
+// the paper's deployment (§5.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace origin::web {
+
+enum class ContentType : std::uint8_t {
+  kHtml,
+  kJavascript,       // application/javascript
+  kTextJavascript,   // text/javascript (obsolete; Google still serves it)
+  kXJavascript,      // application/x-javascript
+  kCss,
+  kJpeg,
+  kPng,
+  kGif,
+  kWebp,
+  kFontWoff2,
+  kJson,
+  kPlain,
+  kOther,
+};
+
+const char* content_type_name(ContentType type);
+
+// How the document initiates the subrequest; affects coalescing (§5.3).
+enum class RequestMode : std::uint8_t {
+  kNavigation,      // the base page itself
+  kSubresource,     // plain <script>/<img>/<link>
+  kCorsAnonymous,   // crossorigin="anonymous" — separate connection pool key
+  kFetchApi,        // fetch()/XMLHttpRequest — ditto
+};
+
+const char* request_mode_name(RequestMode mode);
+
+enum class HttpVersion : std::uint8_t {
+  kH09,
+  kH10,
+  kH11,
+  kH2,
+  kH3,
+  kQuic,
+  kUnknown,
+};
+
+const char* http_version_name(HttpVersion version);
+
+struct Resource {
+  std::string hostname;
+  std::string path;
+  ContentType content_type = ContentType::kOther;
+  std::size_t size_bytes = 10 * 1024;
+  bool secure = true;  // https
+  RequestMode mode = RequestMode::kSubresource;
+  HttpVersion version = HttpVersion::kH2;
+  // What the HAR records. Usually == version, but a slice of requests ends
+  // up with no recorded protocol (Table 3's "N/A" rows) even though the
+  // wire used the host's real protocol.
+  HttpVersion recorded_version = HttpVersion::kH2;
+
+  // Index of the resource whose parsing discovered this one (-1 for the
+  // base document), plus how long the parser worked before dispatching the
+  // request. These two fields define the dependency DAG that the waterfall
+  // reconstruction must preserve (§4.1: "CPU time beforehand ... is
+  // unmodified").
+  int parent = -1;
+  double discovery_cpu_ms = 0.0;
+
+  std::string url() const { return (secure ? "https://" : "http://") + hostname + path; }
+};
+
+struct Webpage {
+  std::uint64_t tranco_rank = 0;
+  std::string base_hostname;
+  std::vector<Resource> resources;  // [0] is the base document
+
+  std::size_t subresource_count() const {
+    return resources.empty() ? 0 : resources.size() - 1;
+  }
+};
+
+}  // namespace origin::web

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "ct/ct_log.h"
+#include "ct/merkle.h"
+#include "tls/ca.h"
+
+namespace origin::ct {
+namespace {
+
+using origin::util::SimTime;
+
+// --- Merkle tree (RFC 6962 structure) ---
+
+TEST(Merkle, RootChangesWithEveryAppend) {
+  MerkleTree tree;
+  EXPECT_EQ(tree.root(), 0u);
+  std::set<Digest> roots;
+  for (int i = 0; i < 20; ++i) {
+    tree.append("leaf-" + std::to_string(i));
+    EXPECT_TRUE(roots.insert(tree.root()).second) << "duplicate root at " << i;
+  }
+  EXPECT_EQ(tree.size(), 20u);
+}
+
+TEST(Merkle, RootAtReproducesHistoricHeads) {
+  MerkleTree tree;
+  std::vector<Digest> heads;
+  for (int i = 0; i < 9; ++i) {
+    tree.append("entry" + std::to_string(i));
+    heads.push_back(tree.root());
+  }
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(tree.root_at(static_cast<std::uint64_t>(i) + 1), heads[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Merkle, AppendOrderMatters) {
+  MerkleTree ab, ba;
+  ab.append("a");
+  ab.append("b");
+  ba.append("b");
+  ba.append("a");
+  EXPECT_NE(ab.root(), ba.root());
+}
+
+TEST(Merkle, InclusionProofsVerifyForEveryLeafAndSize) {
+  MerkleTree tree;
+  for (int i = 0; i < 33; ++i) tree.append("cert-" + std::to_string(i));
+  for (std::uint64_t tree_size : {1ull, 2ull, 3ull, 7ull, 8ull, 17ull, 33ull}) {
+    const Digest head = tree.root_at(tree_size);
+    for (std::uint64_t index = 0; index < tree_size; ++index) {
+      auto proof = tree.inclusion_proof(index, tree_size);
+      ASSERT_TRUE(proof.ok());
+      EXPECT_TRUE(MerkleTree::verify_inclusion(
+          hash_leaf("cert-" + std::to_string(index)), index, tree_size, *proof,
+          head))
+          << "index " << index << " size " << tree_size;
+    }
+  }
+}
+
+TEST(Merkle, InclusionProofRejectsWrongLeafIndexRoot) {
+  MerkleTree tree;
+  for (int i = 0; i < 10; ++i) tree.append("cert-" + std::to_string(i));
+  auto proof = tree.inclusion_proof(4, 10);
+  ASSERT_TRUE(proof.ok());
+  const Digest head = tree.root();
+  EXPECT_TRUE(MerkleTree::verify_inclusion(hash_leaf("cert-4"), 4, 10, *proof, head));
+  EXPECT_FALSE(MerkleTree::verify_inclusion(hash_leaf("cert-5"), 4, 10, *proof, head));
+  EXPECT_FALSE(MerkleTree::verify_inclusion(hash_leaf("cert-4"), 5, 10, *proof, head));
+  EXPECT_FALSE(MerkleTree::verify_inclusion(hash_leaf("cert-4"), 4, 10, *proof, head ^ 1));
+  auto tampered = *proof;
+  tampered[0] ^= 1;
+  EXPECT_FALSE(MerkleTree::verify_inclusion(hash_leaf("cert-4"), 4, 10, tampered, head));
+}
+
+TEST(Merkle, ProofErrorsOnBadArguments) {
+  MerkleTree tree;
+  tree.append("x");
+  EXPECT_FALSE(tree.inclusion_proof(0, 5).ok());
+  EXPECT_FALSE(tree.inclusion_proof(1, 1).ok());
+  EXPECT_FALSE(tree.consistency_proof(2, 1).ok());
+  EXPECT_FALSE(tree.consistency_proof(0, 9).ok());
+}
+
+TEST(Merkle, ConsistencyProofsVerifyAcrossGrowth) {
+  MerkleTree tree;
+  std::vector<Digest> heads = {0};
+  for (int i = 0; i < 24; ++i) {
+    tree.append("grow-" + std::to_string(i));
+    heads.push_back(tree.root());
+  }
+  for (std::uint64_t old_size : {1ull, 2ull, 3ull, 4ull, 6ull, 8ull, 13ull}) {
+    for (std::uint64_t new_size : {8ull, 13ull, 16ull, 24ull}) {
+      if (old_size > new_size) continue;
+      auto proof = tree.consistency_proof(old_size, new_size);
+      ASSERT_TRUE(proof.ok());
+      EXPECT_TRUE(MerkleTree::verify_consistency(
+          old_size, new_size, heads[old_size], heads[new_size], *proof))
+          << old_size << " -> " << new_size;
+    }
+  }
+}
+
+TEST(Merkle, ConsistencyRejectsForkedHistory) {
+  MerkleTree honest, forked;
+  for (int i = 0; i < 8; ++i) honest.append("h" + std::to_string(i));
+  for (int i = 0; i < 5; ++i) forked.append("h" + std::to_string(i));
+  forked.append("EVIL");
+  for (int i = 6; i < 8; ++i) forked.append("h" + std::to_string(i));
+  auto proof = honest.consistency_proof(5, 8);
+  ASSERT_TRUE(proof.ok());
+  // The forked tree's head cannot be proven consistent with the honest
+  // 5-entry head using the honest proof.
+  EXPECT_FALSE(MerkleTree::verify_consistency(5, 8, honest.root_at(5),
+                                              forked.root(), *proof));
+}
+
+// --- Logs, ecosystem, monitor ---
+
+tls::CertificateAuthority& ca() {
+  static tls::CertificateAuthority instance("CT Test CA", 0xC7, 100);
+  return instance;
+}
+
+TEST(CtLogTest, SubmitIssuesSctAndGrowsTree) {
+  CtLog log("repro2026", "ExampleOp");
+  auto cert = *ca().issue("site.example", {"site.example"},
+                          SimTime::from_micros(0));
+  auto sct = log.submit(cert, SimTime::from_micros(5000));
+  EXPECT_EQ(sct.leaf_index, 0u);
+  EXPECT_EQ(sct.log_name, "repro2026");
+  EXPECT_EQ(log.entry_count(), 1u);
+  // The SCT's leaf hash verifies against the tree head.
+  auto proof = log.tree().inclusion_proof(0, 1);
+  ASSERT_TRUE(proof.ok());
+  EXPECT_TRUE(MerkleTree::verify_inclusion(sct.leaf_hash, 0, 1, *proof,
+                                           log.tree_head()));
+}
+
+TEST(CtEcosystemTest, SubmitsToDistinctOperators) {
+  CtEcosystem ecosystem(2);
+  ecosystem.add_log("alpha1", "OpAlpha");
+  ecosystem.add_log("alpha2", "OpAlpha");
+  ecosystem.add_log("beta1", "OpBeta");
+  auto cert = *ca().issue("a.example", {"a.example"}, SimTime::from_micros(0));
+  auto scts = ecosystem.submit(cert, SimTime::from_micros(0));
+  ASSERT_EQ(scts.size(), 2u);
+  EXPECT_NE(scts[0].log_name, scts[1].log_name);
+  // One SCT from each operator.
+  std::set<std::string> names = {scts[0].log_name, scts[1].log_name};
+  EXPECT_TRUE(names.contains("beta1"));
+}
+
+TEST(CtEcosystemTest, LeastLoadedBalancing) {
+  CtEcosystem ecosystem(1);
+  auto& busy = ecosystem.add_log("busy", "OpA");
+  ecosystem.add_log("idle", "OpB");
+  // Preload the busy log.
+  for (int i = 0; i < 50; ++i) {
+    auto cert = *ca().issue("pre" + std::to_string(i) + ".example", {}, SimTime::from_micros(0));
+    busy.submit(cert, SimTime::from_micros(0));
+  }
+  for (int i = 0; i < 10; ++i) {
+    auto cert = *ca().issue("n" + std::to_string(i) + ".example", {}, SimTime::from_micros(0));
+    auto scts = ecosystem.submit(cert, SimTime::from_micros(0));
+    ASSERT_EQ(scts.size(), 1u);
+    EXPECT_EQ(scts[0].log_name, "idle");
+  }
+  EXPECT_LT(ecosystem.max_operator_share(), 0.9);
+}
+
+TEST(CtEcosystemTest, HourlyAccounting) {
+  CtEcosystem ecosystem(1);
+  auto& log = ecosystem.add_log("solo", "Op");
+  (void)log;
+  for (int hour = 0; hour < 3; ++hour) {
+    for (int i = 0; i <= hour; ++i) {
+      auto cert = *ca().issue("h" + std::to_string(hour) + "i" + std::to_string(i) + ".example",
+                              {}, SimTime::from_micros(0));
+      ecosystem.submit(cert,
+                       SimTime::from_micros(hour * 3'600'000'000LL + 17));
+    }
+  }
+  const auto& hourly = ecosystem.logs()[0]->hourly_submissions();
+  EXPECT_EQ(hourly.at(0), 1u);
+  EXPECT_EQ(hourly.at(1), 2u);
+  EXPECT_EQ(hourly.at(2), 3u);
+}
+
+TEST(CtMonitorTest, DetectsWatchedDomainsIncludingWildcards) {
+  CtEcosystem ecosystem(1);
+  ecosystem.add_log("log", "Op");
+  CtMonitor monitor;
+  monitor.watch("target.example");
+  monitor.watch("sub.corp.example");
+
+  auto miss = *ca().issue("other.example", {"other.example"}, SimTime::from_micros(0));
+  ecosystem.submit(miss, SimTime::from_micros(0));
+  EXPECT_TRUE(monitor.poll(ecosystem).empty());
+
+  auto direct = *ca().issue("target.example", {"target.example"}, SimTime::from_micros(0));
+  ecosystem.submit(direct, SimTime::from_micros(0));
+  auto wildcard = *ca().issue("corp.example", {"*.corp.example"}, SimTime::from_micros(0));
+  ecosystem.submit(wildcard, SimTime::from_micros(0));
+
+  auto hits = monitor.poll(ecosystem);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].domain, "target.example");
+  EXPECT_EQ(hits[1].domain, "sub.corp.example");
+  // The cursor advances: no duplicate hits on the next poll.
+  EXPECT_TRUE(monitor.poll(ecosystem).empty());
+}
+
+}  // namespace
+}  // namespace origin::ct

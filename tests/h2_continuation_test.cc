@@ -1,0 +1,190 @@
+// CONTINUATION handling, header-block reassembly, and RFC 7541 Appendix C
+// response sequences — the h2 edge cases the main connection test leaves
+// out.
+#include <gtest/gtest.h>
+
+#include "h2/connection.h"
+
+namespace origin::h2 {
+namespace {
+
+using origin::util::Bytes;
+
+Origin make_origin(const std::string& host) {
+  Origin origin;
+  origin.host = host;
+  return origin;
+}
+
+// Drives a raw frame into a freshly-handshaked client connection.
+struct RawClient {
+  Connection client{Connection::Role::kClient, make_origin("a.com")};
+  Connection server{Connection::Role::kServer, make_origin("a.com")};
+
+  RawClient() {
+    // Complete the preface/SETTINGS exchange.
+    (void)server.receive(client.take_output());
+    (void)client.receive(server.take_output());
+    (void)server.receive(client.take_output());
+  }
+};
+
+TEST(H2Continuation, FragmentedHeadersReassemble) {
+  RawClient pair;
+  auto id = pair.client.submit_request({{":method", "GET"},
+                                        {":scheme", "https"},
+                                        {":authority", "a.com"},
+                                        {":path", "/"}},
+                                       true);
+  ASSERT_TRUE(id.ok());
+  (void)pair.server.receive(pair.client.take_output());
+
+  // Build a response header block and split it across HEADERS+CONTINUATION.
+  hpack::Encoder encoder;
+  auto block = encoder.encode({{":status", "200"},
+                               {"content-type", "text/html"},
+                               {"x-long-header", std::string(100, 'v')}});
+  ASSERT_GT(block.size(), 10u);
+  const std::size_t split = block.size() / 2;
+
+  HeadersFrame headers;
+  headers.stream_id = *id;
+  headers.end_headers = false;
+  headers.end_stream = false;
+  headers.header_block.assign(block.begin(),
+                              block.begin() + static_cast<std::ptrdiff_t>(split));
+  ContinuationFrame continuation;
+  continuation.stream_id = *id;
+  continuation.end_headers = true;
+  continuation.header_block.assign(
+      block.begin() + static_cast<std::ptrdiff_t>(split), block.end());
+
+  hpack::HeaderList received;
+  ConnectionCallbacks callbacks;
+  callbacks.on_headers = [&](std::uint32_t, const hpack::HeaderList& h, bool) {
+    received = h;
+  };
+  pair.client.set_callbacks(std::move(callbacks));
+
+  Bytes wire = serialize_frame(Frame{headers});
+  Bytes wire2 = serialize_frame(Frame{continuation});
+  wire.insert(wire.end(), wire2.begin(), wire2.end());
+  ASSERT_TRUE(pair.client.receive(wire).ok());
+  ASSERT_EQ(received.size(), 3u);
+  EXPECT_EQ(received[0].value, "200");
+  EXPECT_EQ(received[2].value, std::string(100, 'v'));
+}
+
+TEST(H2Continuation, InterleavedFrameIsConnectionError) {
+  RawClient pair;
+  auto id = pair.client.submit_request({{":method", "GET"},
+                                        {":scheme", "https"},
+                                        {":authority", "a.com"},
+                                        {":path", "/"}},
+                                       true);
+  (void)pair.server.receive(pair.client.take_output());
+
+  HeadersFrame headers;
+  headers.stream_id = *id;
+  headers.end_headers = false;
+  headers.header_block = origin::util::from_string("\x88");  // :status 200
+  PingFrame ping;  // anything but CONTINUATION
+
+  Bytes wire = serialize_frame(Frame{headers});
+  Bytes wire2 = serialize_frame(Frame{ping});
+  wire.insert(wire.end(), wire2.begin(), wire2.end());
+  EXPECT_FALSE(pair.client.receive(wire).ok());
+  EXPECT_TRUE(pair.client.failed());
+}
+
+TEST(H2Continuation, ContinuationOnWrongStreamIsError) {
+  RawClient pair;
+  auto id = pair.client.submit_request({{":method", "GET"},
+                                        {":scheme", "https"},
+                                        {":authority", "a.com"},
+                                        {":path", "/"}},
+                                       true);
+  (void)pair.server.receive(pair.client.take_output());
+  HeadersFrame headers;
+  headers.stream_id = *id;
+  headers.end_headers = false;
+  headers.header_block = origin::util::from_string("\x88");
+  ContinuationFrame continuation;
+  continuation.stream_id = *id + 2;  // wrong stream
+  continuation.end_headers = true;
+  Bytes wire = serialize_frame(Frame{headers});
+  Bytes wire2 = serialize_frame(Frame{continuation});
+  wire.insert(wire.end(), wire2.begin(), wire2.end());
+  EXPECT_FALSE(pair.client.receive(wire).ok());
+}
+
+TEST(H2Continuation, UnexpectedContinuationIsError) {
+  RawClient pair;
+  ContinuationFrame continuation;
+  continuation.stream_id = 1;
+  continuation.end_headers = true;
+  EXPECT_FALSE(
+      pair.client.receive(serialize_frame(Frame{continuation})).ok());
+}
+
+TEST(H2Compression, CorruptHeaderBlockIsCompressionError) {
+  RawClient pair;
+  auto id = pair.client.submit_request({{":method", "GET"},
+                                        {":scheme", "https"},
+                                        {":authority", "a.com"},
+                                        {":path", "/"}},
+                                       true);
+  (void)pair.server.receive(pair.client.take_output());
+  HeadersFrame bogus;
+  bogus.stream_id = *id;
+  bogus.header_block = {0xbf, 0xff, 0xff, 0xff, 0xff, 0x7f};  // huge index
+  EXPECT_FALSE(pair.client.receive(serialize_frame(Frame{bogus})).ok());
+  EXPECT_TRUE(pair.client.failed());
+  // The queued GOAWAY carries COMPRESSION_ERROR.
+  FrameParser parser;
+  auto frames = parser.feed(pair.client.take_output());
+  ASSERT_TRUE(frames.ok());
+  bool saw_goaway = false;
+  for (const auto& frame : *frames) {
+    if (const auto* goaway = std::get_if<GoAwayFrame>(&frame)) {
+      saw_goaway = true;
+      EXPECT_EQ(goaway->error, ErrorCode::kCompressionError);
+    }
+  }
+  EXPECT_TRUE(saw_goaway);
+}
+
+TEST(H2Compression, RfcC5ResponseSequenceDecodes) {
+  // RFC 7541 C.5: three responses with a 256-byte dynamic table, literals
+  // without Huffman. C.5.1 wire bytes:
+  hpack::Decoder decoder(256);
+  auto hex = [](std::string_view h) {
+    Bytes out;
+    auto nib = [](char c) -> std::uint8_t {
+      return c <= '9' ? static_cast<std::uint8_t>(c - '0')
+                      : static_cast<std::uint8_t>(c - 'a' + 10);
+    };
+    for (std::size_t i = 0; i + 1 < h.size(); i += 2) {
+      out.push_back(static_cast<std::uint8_t>(nib(h[i]) << 4 | nib(h[i + 1])));
+    }
+    return out;
+  };
+  auto first = decoder.decode(hex(
+      "4803333032580770726976617465611d4d6f6e2c203231204f637420323031332032"
+      "303a31333a323120474d546e1768747470733a2f2f7777772e6578616d706c652e63"
+      "6f6d"));
+  ASSERT_TRUE(first.ok()) << first.error().message;
+  ASSERT_EQ(first->size(), 4u);
+  EXPECT_EQ((*first)[0], (hpack::HeaderField{":status", "302"}));
+  EXPECT_EQ((*first)[1], (hpack::HeaderField{"cache-control", "private"}));
+  EXPECT_EQ((*first)[3],
+            (hpack::HeaderField{"location", "https://www.example.com"}));
+  // C.5.2: ":status 307" evicts ":status 302" from the 256-byte table.
+  auto second = decoder.decode(hex("4803333037c1c0bf"));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ((*second)[0], (hpack::HeaderField{":status", "307"}));
+  EXPECT_EQ(decoder.dynamic_table_entries(), 4u);
+}
+
+}  // namespace
+}  // namespace origin::h2

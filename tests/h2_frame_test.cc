@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include "h2/frame.h"
+#include "h2/settings.h"
+
+namespace origin::h2 {
+namespace {
+
+using origin::util::Bytes;
+
+template <typename T>
+T round_trip(const T& frame) {
+  Bytes wire = serialize_frame(Frame{frame});
+  FrameParser parser;
+  auto frames = parser.feed(wire);
+  EXPECT_TRUE(frames.ok()) << frames.error().message;
+  EXPECT_EQ(frames->size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<T>((*frames)[0]));
+  return std::get<T>((*frames)[0]);
+}
+
+TEST(H2Frame, DataRoundTrip) {
+  DataFrame f;
+  f.stream_id = 5;
+  f.data = origin::util::from_string("hello world");
+  f.end_stream = true;
+  auto parsed = round_trip(f);
+  EXPECT_EQ(parsed.stream_id, 5u);
+  EXPECT_EQ(parsed.data, f.data);
+  EXPECT_TRUE(parsed.end_stream);
+}
+
+TEST(H2Frame, DataWithPadding) {
+  DataFrame f;
+  f.stream_id = 3;
+  f.data = origin::util::from_string("abc");
+  f.pad_length = 7;
+  Bytes wire = serialize_frame(Frame{f});
+  // length = 1 (pad length octet) + 3 (data) + 7 (padding).
+  EXPECT_EQ(wire[2], 11);
+  auto parsed = round_trip(f);
+  EXPECT_EQ(parsed.data, f.data);
+}
+
+TEST(H2Frame, DataOnStreamZeroRejected) {
+  DataFrame f;
+  f.stream_id = 0;
+  f.data = origin::util::from_string("x");
+  FrameParser parser;
+  EXPECT_FALSE(parser.feed(serialize_frame(Frame{f})).ok());
+}
+
+TEST(H2Frame, HeadersRoundTrip) {
+  HeadersFrame f;
+  f.stream_id = 1;
+  f.header_block = origin::util::from_string("\x82\x86");
+  f.end_stream = false;
+  f.end_headers = true;
+  auto parsed = round_trip(f);
+  EXPECT_EQ(parsed.header_block, f.header_block);
+  EXPECT_TRUE(parsed.end_headers);
+  EXPECT_FALSE(parsed.end_stream);
+}
+
+TEST(H2Frame, SettingsRoundTrip) {
+  SettingsFrame f;
+  f.settings = {{SettingId::kMaxConcurrentStreams, 100},
+                {SettingId::kInitialWindowSize, 1 << 20}};
+  auto parsed = round_trip(f);
+  ASSERT_EQ(parsed.settings.size(), 2u);
+  EXPECT_EQ(parsed.settings[0].first, SettingId::kMaxConcurrentStreams);
+  EXPECT_EQ(parsed.settings[1].second, 1u << 20);
+}
+
+TEST(H2Frame, SettingsAckWithPayloadRejected) {
+  Bytes wire = {0, 0, 6, 0x4, 0x1, 0, 0, 0, 0, /* one setting */ 0, 3, 0, 0, 0, 1};
+  FrameParser parser;
+  EXPECT_FALSE(parser.feed(wire).ok());
+}
+
+TEST(H2Frame, SettingsBadSizeRejected) {
+  Bytes wire = {0, 0, 5, 0x4, 0, 0, 0, 0, 0, 1, 2, 3, 4, 5};
+  FrameParser parser;
+  EXPECT_FALSE(parser.feed(wire).ok());
+}
+
+TEST(H2Frame, PingRoundTrip) {
+  PingFrame f;
+  f.opaque = 0xdeadbeefcafef00dULL;
+  f.ack = true;
+  auto parsed = round_trip(f);
+  EXPECT_EQ(parsed.opaque, f.opaque);
+  EXPECT_TRUE(parsed.ack);
+}
+
+TEST(H2Frame, GoAwayRoundTrip) {
+  GoAwayFrame f;
+  f.last_stream_id = 41;
+  f.error = ErrorCode::kEnhanceYourCalm;
+  f.debug_data = "too many streams";
+  auto parsed = round_trip(f);
+  EXPECT_EQ(parsed.last_stream_id, 41u);
+  EXPECT_EQ(parsed.error, ErrorCode::kEnhanceYourCalm);
+  EXPECT_EQ(parsed.debug_data, "too many streams");
+}
+
+TEST(H2Frame, WindowUpdateRoundTrip) {
+  WindowUpdateFrame f;
+  f.stream_id = 7;
+  f.increment = 65535;
+  auto parsed = round_trip(f);
+  EXPECT_EQ(parsed.increment, 65535u);
+}
+
+TEST(H2Frame, WindowUpdateZeroIncrementRejected) {
+  Bytes wire = {0, 0, 4, 0x8, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  FrameParser parser;
+  EXPECT_FALSE(parser.feed(wire).ok());
+}
+
+TEST(H2Frame, RstStreamRoundTrip) {
+  RstStreamFrame f;
+  f.stream_id = 9;
+  f.error = ErrorCode::kRefusedStream;
+  auto parsed = round_trip(f);
+  EXPECT_EQ(parsed.error, ErrorCode::kRefusedStream);
+}
+
+TEST(H2Frame, PriorityRoundTrip) {
+  PriorityFrame f;
+  f.stream_id = 5;
+  f.dependency = 3;
+  f.weight = 220;
+  f.exclusive = true;
+  auto parsed = round_trip(f);
+  EXPECT_EQ(parsed.dependency, 3u);
+  EXPECT_EQ(parsed.weight, 220);
+  EXPECT_TRUE(parsed.exclusive);
+}
+
+TEST(H2Frame, AltSvcRoundTrip) {
+  AltSvcFrame f;
+  f.stream_id = 0;
+  f.origin = "https://example.com";
+  f.field_value = "h3=\":443\"";
+  auto parsed = round_trip(f);
+  EXPECT_EQ(parsed.origin, f.origin);
+  EXPECT_EQ(parsed.field_value, f.field_value);
+}
+
+// --- ORIGIN frame (RFC 8336) ---
+
+TEST(H2Frame, OriginFrameRoundTrip) {
+  OriginFrame f;
+  f.origins = {"https://example.com", "https://static.example.com",
+               "https://thirdparty.cdn.example"};
+  auto parsed = round_trip(f);
+  EXPECT_EQ(parsed.origins, f.origins);
+}
+
+TEST(H2Frame, OriginFrameEmptySetRoundTrip) {
+  // An empty ORIGIN frame is valid and clears the origin set down to the
+  // initial origin.
+  OriginFrame f;
+  auto parsed = round_trip(f);
+  EXPECT_TRUE(parsed.origins.empty());
+}
+
+TEST(H2Frame, OriginFrameWireFormat) {
+  OriginFrame f;
+  f.origins = {"https://a.example"};
+  Bytes wire = serialize_frame(Frame{f});
+  // header: len=2+17=19, type=0xc, flags=0, stream=0
+  EXPECT_EQ(wire[2], 19);
+  EXPECT_EQ(wire[3], 0x0c);
+  EXPECT_EQ(wire[4], 0x00);
+  EXPECT_EQ(wire[8], 0x00);
+  // payload: 2-octet length then ASCII origin.
+  EXPECT_EQ(wire[9], 0);
+  EXPECT_EQ(wire[10], 17);
+  EXPECT_EQ(std::string(wire.begin() + 11, wire.end()), "https://a.example");
+}
+
+TEST(H2Frame, OriginFrameOnNonzeroStreamIsIgnoredAsUnknown) {
+  // RFC 8336 §2.1: ORIGIN on a request stream MUST be ignored, not applied
+  // and not fatal.
+  OriginFrame f;
+  f.origins = {"https://sneaky.example"};
+  Bytes wire = serialize_frame(Frame{f});
+  wire[8] = 5;  // rewrite the stream id in the 9-octet header
+  FrameParser parser;
+  auto frames = parser.feed(wire);
+  ASSERT_TRUE(frames.ok());
+  ASSERT_EQ(frames->size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<UnknownFrame>((*frames)[0]));
+}
+
+TEST(H2Frame, OriginFrameTruncatedEntryRejected) {
+  Bytes wire = {0, 0, 3, 0x0c, 0, 0, 0, 0, 0, /* len=5 but 1 byte */ 0, 5, 'x'};
+  FrameParser parser;
+  EXPECT_FALSE(parser.feed(wire).ok());
+}
+
+TEST(H2Frame, OriginFrameTrailingByteRejected) {
+  Bytes wire = {0, 0, 1, 0x0c, 0, 0, 0, 0, 0, 0x41};
+  FrameParser parser;
+  EXPECT_FALSE(parser.feed(wire).ok());
+}
+
+// --- Unknown frames: must parse, not error (RFC 9113 §4.1) ---
+
+TEST(H2Frame, UnknownFrameTypePreserved) {
+  UnknownFrame f;
+  f.type = 0xbf;
+  f.flags = 0x3;
+  f.stream_id = 11;
+  f.payload = origin::util::from_string("opaque");
+  auto parsed = round_trip(f);
+  EXPECT_EQ(parsed.type, 0xbf);
+  EXPECT_EQ(parsed.flags, 0x3);
+  EXPECT_EQ(parsed.stream_id, 11u);
+  EXPECT_EQ(parsed.payload, f.payload);
+}
+
+TEST(H2Frame, FrameTypeNames) {
+  EXPECT_STREQ(frame_type_name(FrameType::kOrigin), "ORIGIN");
+  EXPECT_STREQ(frame_type_name(FrameType::kData), "DATA");
+  EXPECT_STREQ(error_code_name(ErrorCode::kProtocolError), "PROTOCOL_ERROR");
+}
+
+// --- Parser behaviour ---
+
+TEST(H2FrameParser, HandlesArbitraryChunking) {
+  OriginFrame origin_frame;
+  origin_frame.origins = {"https://example.com", "https://cdn.example.com"};
+  PingFrame ping;
+  ping.opaque = 42;
+  Bytes wire = serialize_frame(Frame{origin_frame});
+  Bytes wire2 = serialize_frame(Frame{ping});
+  wire.insert(wire.end(), wire2.begin(), wire2.end());
+
+  for (std::size_t chunk : {1ul, 2ul, 3ul, 7ul, wire.size()}) {
+    FrameParser parser;
+    std::vector<Frame> all;
+    for (std::size_t i = 0; i < wire.size(); i += chunk) {
+      std::span<const std::uint8_t> piece(
+          wire.data() + i, std::min(chunk, wire.size() - i));
+      auto frames = parser.feed(piece);
+      ASSERT_TRUE(frames.ok());
+      for (auto& fr : *frames) all.push_back(std::move(fr));
+    }
+    ASSERT_EQ(all.size(), 2u) << "chunk=" << chunk;
+    EXPECT_TRUE(std::holds_alternative<OriginFrame>(all[0]));
+    EXPECT_TRUE(std::holds_alternative<PingFrame>(all[1]));
+    EXPECT_EQ(parser.buffered_bytes(), 0u);
+  }
+}
+
+TEST(H2FrameParser, OversizeFrameRejected) {
+  FrameParser parser(16384);
+  Bytes wire = {0xff, 0xff, 0xff, 0x0, 0, 0, 0, 0, 1};  // 16MB DATA header
+  EXPECT_FALSE(parser.feed(wire).ok());
+}
+
+TEST(H2FrameParser, RespectsRaisedMaxFrameSize) {
+  FrameParser parser(16384);
+  parser.set_max_frame_size(1 << 20);
+  DataFrame f;
+  f.stream_id = 1;
+  f.data.assign(100000, 0xaa);
+  auto frames = parser.feed(serialize_frame(Frame{f}));
+  ASSERT_TRUE(frames.ok());
+  EXPECT_EQ(std::get<DataFrame>((*frames)[0]).data.size(), 100000u);
+}
+
+// --- Settings validation ---
+
+TEST(H2Settings, ApplyValidatesRanges) {
+  Settings s;
+  EXPECT_FALSE(s.apply({{SettingId::kEnablePush, 2}}).ok());
+  EXPECT_FALSE(s.apply({{SettingId::kInitialWindowSize, 0x80000000u}}).ok());
+  EXPECT_FALSE(s.apply({{SettingId::kMaxFrameSize, 100}}).ok());
+  EXPECT_FALSE(s.apply({{SettingId::kMaxFrameSize, 1 << 24}}).ok());
+  EXPECT_TRUE(s.apply({{SettingId::kMaxFrameSize, 65536},
+                       {SettingId::kMaxConcurrentStreams, 8}})
+                  .ok());
+  EXPECT_EQ(s.max_frame_size, 65536u);
+  EXPECT_EQ(s.max_concurrent_streams, 8u);
+}
+
+TEST(H2Settings, UnknownSettingIgnored) {
+  Settings s;
+  EXPECT_TRUE(s.apply({{static_cast<SettingId>(0x99), 1234}}).ok());
+}
+
+TEST(H2Settings, DiffFromDefaults) {
+  Settings s;
+  EXPECT_TRUE(s.diff_from_defaults().empty());
+  s.enable_push = false;
+  s.max_concurrent_streams = 128;
+  auto diff = s.diff_from_defaults();
+  EXPECT_EQ(diff.size(), 2u);
+}
+
+}  // namespace
+}  // namespace origin::h2

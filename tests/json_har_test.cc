@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "dataset/collector.h"
+#include "dataset/generator.h"
+#include "util/json.h"
+#include "web/har_json.h"
+
+namespace origin {
+namespace {
+
+using util::Json;
+
+// --- JSON core ---
+
+TEST(Json, BuildAndDump) {
+  Json::Object object;
+  object["name"] = "value";
+  object["count"] = 42;
+  object["ratio"] = 0.5;
+  object["flag"] = true;
+  object["nothing"] = nullptr;
+  object["list"] = Json(Json::Array{Json(1), Json(2)});
+  Json json(std::move(object));
+  EXPECT_EQ(json.dump(),
+            R"({"count":42,"flag":true,"list":[1,2],"name":"value",)"
+            R"("nothing":null,"ratio":0.5})");
+}
+
+TEST(Json, PrettyPrintHasIndentation) {
+  Json::Object object;
+  object["a"] = 1;
+  std::string pretty = Json(std::move(object)).dump(2);
+  EXPECT_NE(pretty.find("\n  \"a\": 1"), std::string::npos);
+}
+
+TEST(Json, ParseRoundTrip) {
+  const std::string text =
+      R"({"s":"hi","i":-3,"d":2.25,"b":false,"n":null,"a":[1,"two",{"k":3}]})";
+  auto parsed = Json::parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ((*parsed)["s"].as_string(), "hi");
+  EXPECT_EQ((*parsed)["i"].as_int(), -3);
+  EXPECT_DOUBLE_EQ((*parsed)["d"].as_double(), 2.25);
+  EXPECT_FALSE((*parsed)["b"].as_bool());
+  EXPECT_TRUE((*parsed)["n"].is_null());
+  const auto& array = (*parsed)["a"].as_array();
+  ASSERT_EQ(array.size(), 3u);
+  EXPECT_EQ(array[2]["k"].as_int(), 3);
+  // Dump -> parse -> dump is a fixed point.
+  auto redumped = Json::parse(parsed->dump());
+  ASSERT_TRUE(redumped.ok());
+  EXPECT_EQ(redumped->dump(), parsed->dump());
+}
+
+TEST(Json, StringEscapes) {
+  Json value(std::string("line\n\"quoted\"\tand\\slash"));
+  auto parsed = Json::parse(value.dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->as_string(), "line\n\"quoted\"\tand\\slash");
+}
+
+TEST(Json, ParseUnicodeEscape) {
+  auto parsed = Json::parse(R"("aAb")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->as_string(), "aAb");
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_FALSE(Json::parse("").ok());
+  EXPECT_FALSE(Json::parse("{").ok());
+  EXPECT_FALSE(Json::parse("[1,]").ok());
+  EXPECT_FALSE(Json::parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Json::parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::parse("12 34").ok());
+  EXPECT_FALSE(Json::parse("nul").ok());
+}
+
+TEST(Json, MissingKeyIsNull) {
+  auto parsed = Json::parse(R"({"a":1})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE((*parsed)["missing"].is_null());
+  EXPECT_FALSE(parsed->contains("missing"));
+  EXPECT_TRUE(parsed->contains("a"));
+}
+
+// --- HAR export/import ---
+
+web::PageLoad sample_load() {
+  dataset::CorpusOptions options;
+  options.site_count = 60;
+  options.seed = 3;
+  options.tail_service_count = 80;
+  dataset::Corpus corpus(options);
+  browser::LoaderOptions loader_options;
+  browser::PageLoader loader(corpus.env(), loader_options);
+  for (std::size_t i = 0; i < corpus.sites().size(); ++i) {
+    if (corpus.sites()[i].crawl_succeeded) {
+      return loader.load(corpus.page_for_site(i));
+    }
+  }
+  return {};
+}
+
+TEST(HarJson, ExportHasHarShape) {
+  auto load = sample_load();
+  ASSERT_FALSE(load.entries.empty());
+  Json har = web::to_har_json(load);
+  EXPECT_EQ(har["log"]["version"].as_string(), "1.2");
+  EXPECT_EQ(har["log"]["creator"]["name"].as_string(),
+            "respect-the-origin-repro");
+  ASSERT_TRUE(har["log"]["entries"].is_array());
+  EXPECT_EQ(har["log"]["entries"].as_array().size(), load.entries.size());
+  const Json& first = har["log"]["entries"].as_array().front();
+  EXPECT_TRUE(first["timings"].is_object());
+  EXPECT_TRUE(first["_origin"].is_object());
+  EXPECT_EQ(first["request"]["method"].as_string(), "GET");
+}
+
+TEST(HarJson, RoundTripPreservesAnalysisInputs) {
+  auto load = sample_load();
+  ASSERT_FALSE(load.entries.empty());
+  auto text = web::to_har_string(load);
+  auto restored = web::from_har_string(text);
+  ASSERT_TRUE(restored.ok()) << restored.error().message;
+
+  EXPECT_EQ(restored->base_hostname, load.base_hostname);
+  EXPECT_EQ(restored->tranco_rank, load.tranco_rank);
+  EXPECT_EQ(restored->extra_dns_queries, load.extra_dns_queries);
+  EXPECT_EQ(restored->extra_tls_connections, load.extra_tls_connections);
+  ASSERT_EQ(restored->entries.size(), load.entries.size());
+
+  // Everything the §4 model reads must survive the round trip exactly.
+  EXPECT_EQ(restored->dns_query_count(), load.dns_query_count());
+  EXPECT_EQ(restored->tls_connection_count(), load.tls_connection_count());
+  EXPECT_EQ(restored->certificate_validation_count(),
+            load.certificate_validation_count());
+  EXPECT_EQ(restored->unique_connection_count(),
+            load.unique_connection_count());
+  EXPECT_EQ(restored->unique_asns(), load.unique_asns());
+  for (std::size_t i = 0; i < load.entries.size(); ++i) {
+    const auto& a = load.entries[i];
+    const auto& b = restored->entries[i];
+    EXPECT_EQ(b.hostname, a.hostname);
+    EXPECT_EQ(b.asn, a.asn);
+    EXPECT_EQ(b.server_address, a.server_address);
+    EXPECT_EQ(b.mode, a.mode);
+    EXPECT_EQ(b.version, a.version);
+    EXPECT_EQ(b.secure, a.secure);
+    EXPECT_EQ(b.connection_id, a.connection_id);
+    EXPECT_EQ(b.cert_issuer, a.cert_issuer);
+    EXPECT_EQ(b.cert_san_count, a.cert_san_count);
+    // Timings round to microsecond-from-millisecond precision.
+    EXPECT_NEAR(b.timings.total().as_millis(), a.timings.total().as_millis(),
+                0.01);
+    EXPECT_NEAR(b.start.as_millis(), a.start.as_millis(), 0.01);
+  }
+  EXPECT_NEAR(restored->page_load_time().as_millis(),
+              load.page_load_time().as_millis(), 0.1);
+}
+
+TEST(HarJson, RejectsNonHarDocuments) {
+  EXPECT_FALSE(web::from_har_string("{}").ok());
+  EXPECT_FALSE(web::from_har_string(R"({"log":{"pages":[]}})").ok());
+  EXPECT_FALSE(web::from_har_string("not json at all").ok());
+}
+
+}  // namespace
+}  // namespace origin

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "browser/environment.h"
+#include "browser/page_loader.h"
+#include "model/cert_planner.h"
+#include "model/coalescing_model.h"
+
+namespace origin::model {
+namespace {
+
+using dns::IpAddress;
+using origin::util::Duration;
+using origin::util::SimTime;
+
+// A world with one CDN (two sharded hosts + a popular third party on the
+// same AS) and one independent tracker.
+struct ModelWorld {
+  browser::Environment env;
+
+  ModelWorld() {
+    auto add = [&](const std::string& name, std::uint32_t asn,
+                   const std::string& provider,
+                   std::vector<std::string> hosts,
+                   std::vector<std::string> sans, std::uint32_t addr) {
+      browser::Service service;
+      service.name = name;
+      service.asn = asn;
+      service.provider = provider;
+      service.addresses = {IpAddress::v4(addr)};
+      service.served_hostnames = {hosts.begin(), hosts.end()};
+      service.certificate = std::make_shared<tls::Certificate>(
+          *env.default_ca().issue(hosts[0], sans, SimTime::from_micros(0)));
+      env.add_service(std::move(service));
+    };
+    add("site", 100, "CDN", {"www.site.com", "img.site.com"},
+        {"www.site.com"}, 0x0A000001);
+    add("popular", 100, "CDN", {"lib.cdn.com"}, {"lib.cdn.com"}, 0x0A000002);
+    add("tracker", 200, "Tracker", {"t.tracker.net"}, {"t.tracker.net"},
+        0x0B000001);
+  }
+
+  web::PageLoad load() {
+    web::Webpage page;
+    page.base_hostname = "www.site.com";
+    auto push = [&page](const std::string& host, int parent) {
+      web::Resource resource;
+      resource.hostname = host;
+      resource.parent = parent;
+      resource.discovery_cpu_ms = 5;
+      if (parent < 0) resource.mode = web::RequestMode::kNavigation;
+      page.resources.push_back(resource);
+    };
+    push("www.site.com", -1);
+    push("img.site.com", 0);
+    push("lib.cdn.com", 0);
+    push("t.tracker.net", 0);
+    push("img.site.com", 1);
+
+    browser::LoaderOptions options;
+    options.policy = "chromium-ip";
+    options.happy_eyeballs_extra_dns = 0;
+    options.speculative_extra_connection = 0;
+    browser::PageLoader loader(env, options);
+    return loader.load(page);
+  }
+};
+
+TEST(CoalescingModelTest, IdentifiesCoalescableByAs) {
+  ModelWorld world;
+  auto load = world.load();
+  CoalescingModel model(world.env);
+  auto analysis = model.analyze(load);
+
+  // Groups: AS100 (site + img + lib) and AS200 (tracker): ideal = 2.
+  EXPECT_EQ(analysis.ideal_origin_dns, 2u);
+  EXPECT_EQ(analysis.ideal_origin_tls, 2u);
+  EXPECT_EQ(analysis.ideal_origin_validations, 2u);
+
+  // First AS100 entry opens the group; later same-group entries coalesce.
+  EXPECT_FALSE(analysis.entries[0].coalescable_origin);  // base
+  EXPECT_TRUE(analysis.entries[1].coalescable_origin);   // img
+  EXPECT_TRUE(analysis.entries[2].coalescable_origin);   // lib
+  EXPECT_FALSE(analysis.entries[3].coalescable_origin);  // tracker (new AS)
+  EXPECT_TRUE(analysis.entries[4].coalescable_origin);   // img again
+}
+
+TEST(CoalescingModelTest, GroupingGranularityOrdering) {
+  ModelWorld world;
+  auto load = world.load();
+  CoalescingModel by_service(world.env, Grouping::kService);
+  CoalescingModel by_asn(world.env, Grouping::kAsn);
+  CoalescingModel by_provider(world.env, Grouping::kProvider);
+  auto service_ideal = by_service.analyze(load).ideal_origin_tls;
+  auto asn_ideal = by_asn.analyze(load).ideal_origin_tls;
+  auto provider_ideal = by_provider.analyze(load).ideal_origin_tls;
+  EXPECT_GE(service_ideal, asn_ideal);
+  EXPECT_GE(asn_ideal, provider_ideal);
+  EXPECT_EQ(service_ideal, 3u);  // site, popular, tracker deployments
+}
+
+TEST(CoalescingModelTest, MeasuredCountsMatchHar) {
+  ModelWorld world;
+  auto load = world.load();
+  CoalescingModel model(world.env);
+  auto analysis = model.analyze(load);
+  EXPECT_EQ(analysis.measured_dns, load.dns_query_count());
+  EXPECT_EQ(analysis.measured_tls, load.tls_connection_count());
+  EXPECT_EQ(analysis.measured_validations,
+            load.certificate_validation_count());
+}
+
+TEST(CoalescingModelTest, InsecureHostsStayUncoalescable) {
+  ModelWorld world;
+  web::PageLoad load = world.load();
+  // Splice in a plaintext entry on the CDN's AS.
+  web::HarEntry plain = load.entries[2];
+  plain.secure = false;
+  plain.hostname = "plain.cdn.com";
+  plain.new_tls_connection = false;
+  load.entries.push_back(plain);
+  CoalescingModel model(world.env);
+  auto analysis = model.analyze(load);
+  EXPECT_FALSE(analysis.entries.back().coalescable_origin);
+  EXPECT_EQ(analysis.ideal_origin_dns, 3u);  // 2 groups + 1 plaintext host
+}
+
+TEST(CoalescingModelTest, ReconstructRemovesSetupConservatively) {
+  ModelWorld world;
+  auto load = world.load();
+  CoalescingModel model(world.env);
+  auto analysis = model.analyze(load);
+  auto reconstructed = model.reconstruct(load, analysis);
+
+  ASSERT_EQ(reconstructed.entries.size(), load.entries.size());
+  for (std::size_t i = 0; i < load.entries.size(); ++i) {
+    if (analysis.entries[i].coalescable_origin) {
+      EXPECT_EQ(reconstructed.entries[i].timings.connect.count_micros(), 0);
+      EXPECT_EQ(reconstructed.entries[i].timings.ssl.count_micros(), 0);
+      EXPECT_FALSE(reconstructed.entries[i].new_tls_connection);
+      EXPECT_FALSE(reconstructed.entries[i].new_dns_query);
+      // Conservative DNS rule: the reduction never exceeds the original.
+      EXPECT_LE(reconstructed.entries[i].timings.dns.count_micros(),
+                load.entries[i].timings.dns.count_micros());
+    } else {
+      // Untouched entries keep their phases.
+      EXPECT_EQ(reconstructed.entries[i].timings.total().count_micros(),
+                load.entries[i].timings.total().count_micros());
+    }
+  }
+  EXPECT_LE(reconstructed.page_load_time().count_micros(),
+            load.page_load_time().count_micros());
+}
+
+TEST(CoalescingModelTest, RestrictToGroupOnlyTouchesThatGroup) {
+  ModelWorld world;
+  auto load = world.load();
+  CoalescingModel model(world.env);
+  auto analysis = model.analyze(load);
+  auto cdn_only = model.reconstruct(load, analysis, "as100");
+  auto full = model.reconstruct(load, analysis);
+  // Restricting can never beat the full reconstruction.
+  EXPECT_GE(cdn_only.page_load_time().count_micros(),
+            full.page_load_time().count_micros());
+  // And an unknown group changes nothing.
+  auto none = model.reconstruct(load, analysis, "as99999");
+  EXPECT_EQ(none.page_load_time().count_micros(),
+            load.page_load_time().count_micros());
+}
+
+TEST(CoalescingModelTest, IdealIpMergesSameAddressConnections) {
+  ModelWorld world;
+  auto load = world.load();
+  CoalescingModel model(world.env);
+  auto analysis = model.analyze(load);
+  // site(+img via IP match when answers align) on .1; lib on .2; tracker .3:
+  // ideal IP = number of distinct connected addresses among measured conns.
+  EXPECT_LE(analysis.ideal_ip_tls, analysis.measured_tls);
+  EXPECT_GE(analysis.ideal_ip_tls, analysis.ideal_origin_tls);
+}
+
+// --- Cert planner ---
+
+TEST(CertPlannerTest, PlansSameGroupAdditionsOnly) {
+  ModelWorld world;
+  auto load = world.load();
+  CertPlanner planner(world.env, Grouping::kAsn);
+  auto plan = planner.plan(load);
+  EXPECT_EQ(plan.site_domain, "www.site.com");
+  EXPECT_EQ(plan.existing_san_count, 1u);
+  // img.site.com and lib.cdn.com share the AS and are absent from the SAN;
+  // the tracker is another AS and must not appear.
+  ASSERT_EQ(plan.additions.size(), 2u);
+  EXPECT_EQ(plan.additions[0], "img.site.com");
+  EXPECT_EQ(plan.additions[1], "lib.cdn.com");
+  EXPECT_EQ(plan.ideal_san_count(), 3u);
+  EXPECT_TRUE(plan.needs_change());
+}
+
+TEST(CertPlannerTest, WildcardCoverageNeedsNoChange) {
+  ModelWorld world;
+  // Replace the site cert with one whose wildcard covers the shard.
+  auto* service = world.env.find_service("www.site.com");
+  service->certificate = std::make_shared<tls::Certificate>(
+      *world.env.default_ca().issue(
+          "www.site.com", {"www.site.com", "*.site.com", "lib.cdn.com"},
+          SimTime::from_micros(0)));
+  auto load = world.load();
+  CertPlanner planner(world.env, Grouping::kAsn);
+  auto plan = planner.plan(load);
+  EXPECT_FALSE(plan.needs_change());
+}
+
+TEST(CertPlannerTest, AggregateCounts) {
+  ModelWorld world;
+  CertPlanner planner(world.env, Grouping::kAsn);
+  PlannerAggregate aggregate;
+  auto load = world.load();
+  aggregate.add(world.env, planner.plan(load), "CDN");
+  EXPECT_EQ(aggregate.sites, 1u);
+  EXPECT_EQ(aggregate.unchanged_sites, 0u);
+  EXPECT_EQ(aggregate.provider_site_counts["CDN"], 1u);
+  EXPECT_EQ(aggregate.provider_addition_counts["CDN"]["lib.cdn.com"], 1u);
+  EXPECT_EQ(aggregate.additions_per_site.front(), 2u);
+}
+
+}  // namespace
+}  // namespace origin::model

@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include "h2/connection.h"
+#include "netsim/middleboxes.h"
+#include "netsim/network.h"
+#include "netsim/simulator.h"
+
+namespace origin::netsim {
+namespace {
+
+using origin::dns::IpAddress;
+using origin::util::Bytes;
+using origin::util::Duration;
+using origin::util::SimTime;
+
+TEST(SimulatorTest, EventsRunInTimestampOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(Duration::millis(30), [&] { order.push_back(3); });
+  sim.schedule(Duration::millis(10), [&] { order.push_back(1); });
+  sim.schedule(Duration::millis(20), [&] { order.push_back(2); });
+  sim.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now().as_millis(), 30.0);
+}
+
+TEST(SimulatorTest, EqualTimestampsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(Duration::millis(1), [&, i] { order.push_back(i); });
+  }
+  sim.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(Duration::millis(1), [&] {
+    fired++;
+    sim.schedule(Duration::millis(1), [&] { fired++; });
+  });
+  sim.run_until_idle();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now().as_millis(), 2.0);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(Duration::millis(5), [&] { fired++; });
+  sim.schedule(Duration::millis(50), [&] { fired++; });
+  sim.run_until(SimTime::from_micros(10'000));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_DOUBLE_EQ(sim.now().as_millis(), 10.0);
+}
+
+TEST(SimulatorTest, PastEventsClampToNow) {
+  Simulator sim;
+  sim.schedule(Duration::millis(10), [] {});
+  sim.run_until_idle();
+  bool fired = false;
+  sim.schedule_at(SimTime::from_micros(0), [&] { fired = true; });
+  sim.run_until_idle();
+  EXPECT_TRUE(fired);
+  EXPECT_GE(sim.now().as_millis(), 10.0);
+}
+
+struct EchoServer {
+  void accept(TcpEndpoint endpoint) {
+    // TcpEndpoint is a small copyable handle; capture it by value.
+    endpoint.set_on_receive([endpoint](std::span<const std::uint8_t> bytes) mutable {
+      endpoint.send(Bytes(bytes.begin(), bytes.end()));
+    });
+  }
+};
+
+TEST(NetworkTest, ConnectHandshakeCostsOneRtt) {
+  Simulator sim;
+  Network net(sim);
+  LinkParams link;
+  link.one_way = Duration::millis(25);
+  net.set_default_link(link);
+  net.listen(IpAddress::v4(1), [](TcpEndpoint) {});
+  SimTime connected_at;
+  net.connect("client", IpAddress::v4(1),
+              [&](origin::util::Result<TcpEndpoint> endpoint) {
+                ASSERT_TRUE(endpoint.ok());
+                connected_at = sim.now();
+              });
+  sim.run_until_idle();
+  EXPECT_DOUBLE_EQ(connected_at.as_millis(), 50.0);
+  EXPECT_EQ(net.stats().tcp_handshakes, 1u);
+}
+
+TEST(NetworkTest, ConnectionRefusedWithoutListener) {
+  Simulator sim;
+  Network net(sim);
+  bool failed = false;
+  net.connect("client", IpAddress::v4(99),
+              [&](origin::util::Result<TcpEndpoint> endpoint) {
+                failed = !endpoint.ok();
+              });
+  sim.run_until_idle();
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(net.stats().connect_failures, 1u);
+}
+
+TEST(NetworkTest, EchoRoundTrip) {
+  Simulator sim;
+  Network net(sim);
+  LinkParams link;
+  link.one_way = Duration::millis(10);
+  net.set_default_link(link);
+  EchoServer server;
+  net.listen(IpAddress::v4(1),
+             [&server](TcpEndpoint endpoint) { server.accept(endpoint); });
+
+  std::string received;
+  SimTime reply_at;
+  net.connect("client", IpAddress::v4(1),
+              [&](origin::util::Result<TcpEndpoint> endpoint) {
+                ASSERT_TRUE(endpoint.ok());
+                auto client = std::make_shared<TcpEndpoint>(*endpoint);
+                client->set_on_receive(
+                    [&, client](std::span<const std::uint8_t> bytes) {
+                      received.assign(bytes.begin(), bytes.end());
+                      reply_at = sim.now();
+                    });
+                client->send(origin::util::from_string("ping"));
+              });
+  sim.run_until_idle();
+  EXPECT_EQ(received, "ping");
+  // 1 RTT connect (20ms) + 1 RTT echo (20ms) + serialization (~0).
+  EXPECT_NEAR(reply_at.as_millis(), 40.0, 1.0);
+}
+
+TEST(NetworkTest, PerServerLinkOverride) {
+  Simulator sim;
+  Network net(sim);
+  LinkParams slow;
+  slow.one_way = Duration::millis(100);
+  net.set_link_to(IpAddress::v4(2), slow);
+  net.listen(IpAddress::v4(2), [](TcpEndpoint) {});
+  SimTime connected_at;
+  net.connect("client", IpAddress::v4(2),
+              [&](origin::util::Result<TcpEndpoint> endpoint) {
+                ASSERT_TRUE(endpoint.ok());
+                connected_at = sim.now();
+              });
+  sim.run_until_idle();
+  EXPECT_DOUBLE_EQ(connected_at.as_millis(), 200.0);
+}
+
+TEST(NetworkTest, SerializationDelayScalesWithBytes) {
+  Simulator sim;
+  Network net(sim);
+  LinkParams link;
+  link.one_way = Duration::millis(1);
+  link.bandwidth_bytes_per_sec = 1e6;  // 1 MB/s
+  net.set_default_link(link);
+  EchoServer server;
+  net.listen(IpAddress::v4(1),
+             [&server](TcpEndpoint endpoint) { server.accept(endpoint); });
+  std::size_t received = 0;
+  SimTime done_at;
+  net.connect("client", IpAddress::v4(1),
+              [&](origin::util::Result<TcpEndpoint> endpoint) {
+                ASSERT_TRUE(endpoint.ok());
+                auto client = std::make_shared<TcpEndpoint>(*endpoint);
+                client->set_on_receive(
+                    [&, client](std::span<const std::uint8_t> bytes) {
+                      received += bytes.size();
+                      done_at = sim.now();
+                    });
+                client->send(Bytes(100000, 0x5a));  // 100 KB = 100ms each way
+              });
+  sim.run_until_idle();
+  EXPECT_EQ(received, 100000u);
+  // connect 2ms + 2 * (100ms serialization + 1ms latency).
+  EXPECT_NEAR(done_at.as_millis(), 204.0, 2.0);
+}
+
+TEST(NetworkTest, CloseNotifiesBothSides) {
+  Simulator sim;
+  Network net(sim);
+  std::string server_reason, client_reason;
+  std::shared_ptr<TcpEndpoint> server_end;
+  net.listen(IpAddress::v4(1), [&](TcpEndpoint endpoint) {
+    server_end = std::make_shared<TcpEndpoint>(endpoint);
+    server_end->set_on_close(
+        [&](const std::string& reason) { server_reason = reason; });
+  });
+  net.connect("client", IpAddress::v4(1),
+              [&](origin::util::Result<TcpEndpoint> endpoint) {
+                ASSERT_TRUE(endpoint.ok());
+                auto client = std::make_shared<TcpEndpoint>(*endpoint);
+                client->set_on_close(
+                    [&, client](const std::string& reason) { client_reason = reason; });
+                client->close("done");
+              });
+  sim.run_until_idle();
+  EXPECT_EQ(server_reason, "done");
+  EXPECT_EQ(client_reason, "done");
+}
+
+// --- HTTP/2 over the simulated network ---
+
+struct H2OverNet {
+  Simulator sim;
+  Network net{sim};
+  std::shared_ptr<h2::Connection> server_conn;
+  std::shared_ptr<TcpEndpoint> server_end;
+  std::shared_ptr<h2::Connection> client_conn;
+  std::shared_ptr<TcpEndpoint> client_end;
+  bool client_closed = false;
+
+  static h2::Origin origin_of(const std::string& host) {
+    h2::Origin o;
+    o.host = host;
+    return o;
+  }
+
+  // Wires an h2 connection onto an endpoint: receive -> h2, h2 output ->
+  // send, after every receive.
+  static void attach(std::shared_ptr<h2::Connection> conn,
+                     std::shared_ptr<TcpEndpoint> endpoint) {
+    endpoint->set_on_receive([conn, endpoint](std::span<const std::uint8_t> b) {
+      (void)conn->receive(b);
+      if (conn->has_output() && endpoint->open()) {
+        endpoint->send(conn->take_output());
+      }
+    });
+  }
+
+  void start(std::shared_ptr<Middlebox> middlebox = nullptr) {
+    if (middlebox) net.install_middlebox("client", middlebox);
+    net.listen(IpAddress::v4(1), [this](TcpEndpoint endpoint) {
+      server_conn = std::make_shared<h2::Connection>(
+          h2::Connection::Role::kServer, origin_of("www.example.com"));
+      server_end = std::make_shared<TcpEndpoint>(endpoint);
+      attach(server_conn, server_end);
+      h2::ConnectionCallbacks callbacks;
+      auto conn = server_conn;
+      auto end = server_end;
+      callbacks.on_headers = [conn, end](std::uint32_t stream,
+                                         const hpack::HeaderList&, bool) {
+        (void)conn->submit_origin({"https://www.example.com",
+                                   "https://static.example.com"});
+        (void)conn->submit_response(stream, {{":status", "200"}}, true);
+        if (end->open()) end->send(conn->take_output());
+      };
+      server_conn->set_callbacks(std::move(callbacks));
+      if (server_conn->has_output()) server_end->send(server_conn->take_output());
+    });
+    net.connect("client", IpAddress::v4(1),
+                [this](origin::util::Result<TcpEndpoint> endpoint) {
+                  ASSERT_TRUE(endpoint.ok());
+                  client_conn = std::make_shared<h2::Connection>(
+                      h2::Connection::Role::kClient,
+                      origin_of("www.example.com"));
+                  client_end = std::make_shared<TcpEndpoint>(*endpoint);
+                  attach(client_conn, client_end);
+                  client_end->set_on_close(
+                      [this](const std::string&) { client_closed = true; });
+                  (void)client_conn->submit_request({{":method", "GET"},
+                                                     {":scheme", "https"},
+                                                     {":authority", "www.example.com"},
+                                                     {":path", "/"}},
+                                                    true);
+                  client_end->send(client_conn->take_output());
+                });
+  }
+};
+
+TEST(NetworkTest, H2ExchangeOverSimulatedNetwork) {
+  H2OverNet harness;
+  harness.start();
+  harness.sim.run_until_idle();
+  ASSERT_NE(harness.client_conn, nullptr);
+  EXPECT_TRUE(harness.client_conn->origin_set().received_origin_frame());
+  EXPECT_TRUE(harness.client_conn->origin_set().contains("static.example.com"));
+  EXPECT_FALSE(harness.client_closed);
+}
+
+TEST(Middleboxes, PassiveInspectorForwardsEverything) {
+  auto inspector = std::make_shared<PassiveInspector>();
+  H2OverNet harness;
+  harness.start(inspector);
+  harness.sim.run_until_idle();
+  EXPECT_FALSE(harness.client_closed);
+  EXPECT_GT(inspector->frames_seen(), 3u);
+  ASSERT_NE(harness.client_conn, nullptr);
+  EXPECT_TRUE(harness.client_conn->origin_set().received_origin_frame());
+}
+
+TEST(Middleboxes, StrictAgentTearsDownOnOriginFrame) {
+  // Reproduces §6.7: the ORIGIN frame is unknown to the agent, and instead
+  // of ignoring it, the agent kills the connection.
+  auto agent = std::make_shared<StrictFrameMiddlebox>();
+  H2OverNet harness;
+  harness.start(agent);
+  harness.sim.run_until_idle();
+  EXPECT_TRUE(harness.client_closed);
+  EXPECT_EQ(agent->teardowns(), 1u);
+  EXPECT_EQ(harness.net.stats().middlebox_teardowns, 1u);
+}
+
+TEST(Middleboxes, StrictAgentForwardsAfterFix) {
+  // The vendor ships the fix (§6.7 epilogue): the agent now knows ORIGIN.
+  auto agent = std::make_shared<StrictFrameMiddlebox>();
+  agent->add_known_type(0x0c);  // ORIGIN
+  agent->add_known_type(0x0a);  // ALTSVC
+  H2OverNet harness;
+  harness.start(agent);
+  harness.sim.run_until_idle();
+  EXPECT_FALSE(harness.client_closed);
+  EXPECT_EQ(agent->teardowns(), 0u);
+  ASSERT_NE(harness.client_conn, nullptr);
+  EXPECT_TRUE(harness.client_conn->origin_set().received_origin_frame());
+}
+
+}  // namespace
+}  // namespace origin::netsim

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "tls/ocsp.h"
+
+namespace origin::tls {
+namespace {
+
+using origin::util::Duration;
+using origin::util::SimTime;
+
+SimTime t(double seconds) {
+  return SimTime::from_micros(static_cast<std::int64_t>(seconds * 1e6));
+}
+
+struct OcspWorld {
+  CertificateAuthority ca{"OCSP CA", 0x0C59, 100};
+  CertificateAuthority other_ca{"Other CA", 0x07E4, 100};
+  OcspResponder responder{ca};
+  Certificate cert = *ca.issue("site.example", {"site.example"}, t(0));
+};
+
+TEST(OcspResponder, GoodUntilRevoked) {
+  OcspWorld world;
+  EXPECT_EQ(world.responder.query(world.cert, t(10)).status, OcspStatus::kGood);
+  world.responder.revoke(world.cert.serial, t(100));
+  EXPECT_EQ(world.responder.query(world.cert, t(50)).status, OcspStatus::kGood);
+  EXPECT_EQ(world.responder.query(world.cert, t(100)).status,
+            OcspStatus::kRevoked);
+  EXPECT_EQ(world.responder.query(world.cert, t(5000)).status,
+            OcspStatus::kRevoked);
+}
+
+TEST(OcspResponder, UnknownForForeignCertificates) {
+  OcspWorld world;
+  auto foreign = *world.other_ca.issue("else.example", {"else.example"}, t(0));
+  EXPECT_EQ(world.responder.query(foreign, t(1)).status, OcspStatus::kUnknown);
+}
+
+TEST(OcspResponder, ResponseCarriesValidityWindow) {
+  OcspWorld world;
+  auto response = world.responder.query(world.cert, t(10));
+  EXPECT_EQ(response.produced_at, t(10));
+  EXPECT_GT(response.next_update.micros(), response.produced_at.micros());
+  EXPECT_EQ(response.responder_key, world.ca.key_id());
+}
+
+TEST(OcspChecker, AcceptsGoodRejectsRevoked) {
+  OcspWorld world;
+  OcspChecker checker;
+  checker.add_responder(&world.responder);
+  EXPECT_TRUE(checker.check(world.cert, t(1)));
+  world.responder.revoke(world.cert.serial, t(0));
+  OcspChecker fresh;
+  fresh.add_responder(&world.responder);
+  EXPECT_FALSE(fresh.check(world.cert, t(1)));
+}
+
+TEST(OcspChecker, CachesWithinValidityWindow) {
+  OcspWorld world;
+  OcspChecker checker;
+  checker.add_responder(&world.responder);
+  EXPECT_TRUE(checker.check(world.cert, t(0)));
+  EXPECT_TRUE(checker.check(world.cert, t(1000)));
+  EXPECT_EQ(checker.cache_hits(), 1u);
+  EXPECT_EQ(checker.network_queries(), 1u);
+  // Past next_update (7 days) the checker refetches.
+  EXPECT_TRUE(checker.check(world.cert, t(8 * 86400.0)));
+  EXPECT_EQ(checker.network_queries(), 2u);
+}
+
+TEST(OcspChecker, CachedRevocationSticksUntilExpiry) {
+  OcspWorld world;
+  world.responder.revoke(world.cert.serial, t(0));
+  OcspChecker checker;
+  checker.add_responder(&world.responder);
+  EXPECT_FALSE(checker.check(world.cert, t(1)));
+  EXPECT_FALSE(checker.check(world.cert, t(2)));  // from cache
+  EXPECT_EQ(checker.network_queries(), 1u);
+}
+
+TEST(OcspChecker, SoftFailVersusHardFail) {
+  OcspWorld world;
+  auto foreign = *world.other_ca.issue("else.example", {"else.example"}, t(0));
+  OcspChecker soft;
+  soft.add_responder(&world.responder);  // knows nothing about foreign
+  EXPECT_TRUE(soft.check(foreign, t(1)));  // soft-fail accepts
+
+  OcspChecker hard;
+  hard.add_responder(&world.responder);
+  hard.set_hard_fail(true);
+  EXPECT_FALSE(hard.check(foreign, t(1)));
+}
+
+TEST(OcspChecker, MultipleRespondersTriedInOrder) {
+  OcspWorld world;
+  OcspResponder other_responder(world.other_ca);
+  auto foreign = *world.other_ca.issue("else.example", {"else.example"}, t(0));
+  OcspChecker checker;
+  checker.add_responder(&world.responder);
+  checker.add_responder(&other_responder);
+  EXPECT_TRUE(checker.check(foreign, t(1)));
+  // First responder answered Unknown; the second one resolved it.
+  EXPECT_EQ(checker.network_queries(), 2u);
+}
+
+}  // namespace
+}  // namespace origin::tls

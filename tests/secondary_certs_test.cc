@@ -1,0 +1,146 @@
+// Secondary certificate authentication (§6.5): codec round trips, delivery
+// over a live connection, trust verification, and the size comparison the
+// paper makes against SAN additions.
+#include <gtest/gtest.h>
+
+#include "h2/connection.h"
+#include "h2/secondary_certs.h"
+#include "tls/ca.h"
+
+namespace origin::h2 {
+namespace {
+
+using origin::util::SimTime;
+
+tls::CertificateAuthority& ca() {
+  static tls::CertificateAuthority instance("Secondary CA", 0x5EC, 2000);
+  return instance;
+}
+
+Origin make_origin(const std::string& host) {
+  Origin origin;
+  origin.host = host;
+  return origin;
+}
+
+void pump(Connection& a, Connection& b) {
+  for (int i = 0; i < 16; ++i) {
+    bool moved = false;
+    if (a.has_output()) {
+      ASSERT_TRUE(b.receive(a.take_output()).ok());
+      moved = true;
+    }
+    if (b.has_output()) {
+      ASSERT_TRUE(a.receive(b.take_output()).ok());
+      moved = true;
+    }
+    if (!moved) return;
+  }
+}
+
+TEST(SecondaryCerts, PayloadRoundTrip) {
+  auto cert = *ca().issue("extra.example",
+                          {"extra.example", "*.extra.example"},
+                          SimTime::from_micros(1000));
+  auto payload = encode_certificate_payload(cert);
+  auto decoded = decode_certificate_payload(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded->serial, cert.serial);
+  EXPECT_EQ(decoded->san_dns, cert.san_dns);
+  EXPECT_EQ(decoded->signature, cert.signature);
+  EXPECT_EQ(decoded->issuer, cert.issuer);
+  EXPECT_EQ(decoded->not_after.micros(), cert.not_after.micros());
+  // The decoded certificate still verifies against the issuing CA.
+  EXPECT_TRUE(ca().verify(*decoded));
+}
+
+TEST(SecondaryCerts, TruncatedPayloadRejected) {
+  auto cert = *ca().issue("x.example", {"x.example"}, SimTime::from_micros(0));
+  auto payload = encode_certificate_payload(cert);
+  payload.resize(payload.size() - 3);
+  EXPECT_FALSE(decode_certificate_payload(payload).ok());
+  payload.resize(4);
+  EXPECT_FALSE(decode_certificate_payload(payload).ok());
+}
+
+TEST(SecondaryCerts, DeliveredOverConnection) {
+  Connection client(Connection::Role::kClient, make_origin("www.shop.example"));
+  Connection server(Connection::Role::kServer, make_origin("www.shop.example"));
+  pump(client, server);
+
+  auto extra = *ca().issue("partner.example", {"partner.example"},
+                           SimTime::from_micros(0));
+  int callbacks = 0;
+  ConnectionCallbacks client_callbacks;
+  client_callbacks.on_secondary_certificate = [&](const tls::Certificate& c) {
+    ++callbacks;
+    EXPECT_EQ(c.serial, extra.serial);
+  };
+  client.set_callbacks(std::move(client_callbacks));
+
+  ASSERT_TRUE(server.submit_secondary_certificate(extra).ok());
+  pump(client, server);
+  EXPECT_EQ(callbacks, 1);
+  ASSERT_EQ(client.secondary_certificates().size(), 1u);
+  EXPECT_TRUE(client.secondary_certificates()[0].covers("partner.example"));
+}
+
+TEST(SecondaryCerts, ClientCannotSend) {
+  Connection client(Connection::Role::kClient, make_origin("a.com"));
+  auto cert = *ca().issue("a.com", {"a.com"}, SimTime::from_micros(0));
+  EXPECT_FALSE(client.submit_secondary_certificate(cert).ok());
+}
+
+TEST(SecondaryCerts, MalformedFrameIsIgnoredNotFatal) {
+  Connection client(Connection::Role::kClient, make_origin("a.com"));
+  UnknownFrame bogus;
+  bogus.type = kCertificateFrameType;
+  bogus.stream_id = 0;
+  bogus.payload = {1, 2, 3};  // far too short
+  EXPECT_TRUE(client.receive(serialize_frame(Frame{bogus})).ok());
+  EXPECT_FALSE(client.failed());
+  EXPECT_TRUE(client.secondary_certificates().empty());
+}
+
+TEST(SecondaryCerts, ServerIgnoresCertificateFrames) {
+  Connection client(Connection::Role::kClient, make_origin("a.com"));
+  Connection server(Connection::Role::kServer, make_origin("a.com"));
+  pump(client, server);
+  auto cert = *ca().issue("a.com", {"a.com"}, SimTime::from_micros(0));
+  UnknownFrame frame;
+  frame.type = kCertificateFrameType;
+  frame.stream_id = 0;
+  frame.payload = encode_certificate_payload(cert);
+  EXPECT_TRUE(server.receive(serialize_frame(Frame{frame})).ok());
+  EXPECT_TRUE(server.secondary_certificates().empty());
+}
+
+TEST(SecondaryCerts, SanAdditionIsSmallerForFewNames) {
+  // The §6.5 comparison: adding k names to the primary SAN costs a few
+  // dozen bytes each; shipping a secondary certificate costs a whole
+  // certificate (key + signature + structure).
+  std::vector<std::string> base_sans = {"site.example", "www.site.example"};
+  auto base = *ca().issue("site.example", base_sans, SimTime::from_micros(0));
+
+  for (std::size_t extra_names : {1ul, 3ul, 7ul, 10ul}) {
+    std::vector<std::string> extended = base_sans;
+    std::vector<std::size_t> frame_bytes;
+    std::size_t secondary_total = 0;
+    for (std::size_t i = 0; i < extra_names; ++i) {
+      const std::string name = "extra" + std::to_string(i) + ".example";
+      extended.push_back(name);
+      auto secondary = *ca().issue(name, {name}, SimTime::from_micros(0));
+      secondary_total += certificate_frame_wire_size(secondary);
+    }
+    auto enlarged = *ca().issue("site.example", extended,
+                                SimTime::from_micros(0));
+    const std::size_t san_delta =
+        enlarged.size_bytes() - base.size_bytes();
+    EXPECT_LT(san_delta, secondary_total)
+        << extra_names << " names: SAN delta " << san_delta
+        << " vs secondary frames " << secondary_total;
+  }
+}
+
+}  // namespace
+}  // namespace origin::h2

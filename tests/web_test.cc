@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "web/har.h"
+#include "web/resource.h"
+
+namespace origin::web {
+namespace {
+
+using origin::util::Duration;
+using origin::util::SimTime;
+
+HarEntry make_entry(const std::string& host, double start_ms, double dns_ms,
+                    double total_extra_ms, std::uint64_t connection,
+                    bool new_dns, bool new_tls, std::uint32_t asn) {
+  HarEntry entry;
+  entry.hostname = host;
+  entry.start = SimTime::from_micros(static_cast<std::int64_t>(start_ms * 1000));
+  entry.timings.dns = Duration::millis(dns_ms);
+  entry.timings.wait = Duration::millis(total_extra_ms);
+  entry.connection_id = connection;
+  entry.new_dns_query = new_dns;
+  entry.new_tls_connection = new_tls;
+  entry.asn = asn;
+  if (new_tls) entry.cert_san_count = 2;
+  return entry;
+}
+
+TEST(PhaseTimings, TotalAndSetup) {
+  PhaseTimings timings;
+  timings.blocked = Duration::millis(1);
+  timings.dns = Duration::millis(2);
+  timings.connect = Duration::millis(3);
+  timings.ssl = Duration::millis(4);
+  timings.send = Duration::millis(5);
+  timings.wait = Duration::millis(6);
+  timings.receive = Duration::millis(7);
+  EXPECT_DOUBLE_EQ(timings.total().as_millis(), 28.0);
+  EXPECT_DOUBLE_EQ(timings.setup().as_millis(), 9.0);  // dns+connect+ssl
+}
+
+TEST(PageLoad, PltSpansEarliestStartToLatestEnd) {
+  PageLoad load;
+  load.entries.push_back(make_entry("a.com", 0, 10, 100, 1, true, true, 1));
+  load.entries.push_back(make_entry("b.com", 50, 10, 300, 2, true, true, 2));
+  // Entry 2 ends at 50+310=360ms; entry 1 at 110ms.
+  EXPECT_DOUBLE_EQ(load.page_load_time().as_millis(), 360.0);
+}
+
+TEST(PageLoad, EmptyLoadHasZeroPlt) {
+  PageLoad load;
+  EXPECT_EQ(load.page_load_time().count_micros(), 0);
+  EXPECT_EQ(load.dns_query_count(), 0u);
+  EXPECT_EQ(load.unique_asns().size(), 0u);
+}
+
+TEST(PageLoad, CountsIncludeRaceExtras) {
+  PageLoad load;
+  load.entries.push_back(make_entry("a.com", 0, 10, 10, 1, true, true, 1));
+  load.entries.push_back(make_entry("a.com", 20, 0, 10, 1, false, false, 1));
+  load.extra_dns_queries = 2;
+  load.extra_tls_connections = 3;
+  EXPECT_EQ(load.dns_query_count(), 3u);       // 1 real + 2 extras
+  EXPECT_EQ(load.tls_connection_count(), 4u);  // 1 real + 3 extras
+}
+
+TEST(PageLoad, ValidationAndConnectionCounts) {
+  PageLoad load;
+  load.entries.push_back(make_entry("a.com", 0, 10, 10, 7, true, true, 1));
+  load.entries.push_back(make_entry("b.a.com", 5, 10, 10, 7, true, false, 1));
+  load.entries.push_back(make_entry("c.com", 9, 10, 10, 9, true, true, 3));
+  EXPECT_EQ(load.certificate_validation_count(), 2u);
+  EXPECT_EQ(load.unique_connection_count(), 2u);
+  auto asns = load.unique_asns();
+  ASSERT_EQ(asns.size(), 2u);
+  EXPECT_EQ(asns[0], 1u);
+  EXPECT_EQ(asns[1], 3u);
+}
+
+TEST(Resource, UrlAndNames) {
+  Resource resource;
+  resource.hostname = "img.example.com";
+  resource.path = "/x.png";
+  EXPECT_EQ(resource.url(), "https://img.example.com/x.png");
+  resource.secure = false;
+  EXPECT_EQ(resource.url(), "http://img.example.com/x.png");
+
+  EXPECT_STREQ(content_type_name(ContentType::kFontWoff2), "font/woff2");
+  EXPECT_STREQ(request_mode_name(RequestMode::kCorsAnonymous),
+               "cors-anonymous");
+  EXPECT_STREQ(http_version_name(HttpVersion::kH2), "HTTP/2");
+  EXPECT_STREQ(http_version_name(HttpVersion::kUnknown), "N/A");
+}
+
+TEST(Webpage, SubresourceCount) {
+  Webpage page;
+  EXPECT_EQ(page.subresource_count(), 0u);
+  page.resources.resize(5);
+  EXPECT_EQ(page.subresource_count(), 4u);
+}
+
+}  // namespace
+}  // namespace origin::web
