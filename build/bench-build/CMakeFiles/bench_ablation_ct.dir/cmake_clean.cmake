@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_ct"
+  "../bench/bench_ablation_ct.pdb"
+  "CMakeFiles/bench_ablation_ct.dir/bench_ablation_ct.cc.o"
+  "CMakeFiles/bench_ablation_ct.dir/bench_ablation_ct.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_middlebox"
+  "../bench/bench_ablation_middlebox.pdb"
+  "CMakeFiles/bench_ablation_middlebox.dir/bench_ablation_middlebox.cc.o"
+  "CMakeFiles/bench_ablation_middlebox.dir/bench_ablation_middlebox.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_middlebox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

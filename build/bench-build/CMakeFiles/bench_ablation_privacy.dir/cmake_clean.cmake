@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_privacy"
+  "../bench/bench_ablation_privacy.pdb"
+  "CMakeFiles/bench_ablation_privacy.dir/bench_ablation_privacy.cc.o"
+  "CMakeFiles/bench_ablation_privacy.dir/bench_ablation_privacy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

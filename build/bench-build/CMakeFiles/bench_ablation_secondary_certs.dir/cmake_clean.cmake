@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_secondary_certs"
+  "../bench/bench_ablation_secondary_certs.pdb"
+  "CMakeFiles/bench_ablation_secondary_certs.dir/bench_ablation_secondary_certs.cc.o"
+  "CMakeFiles/bench_ablation_secondary_certs.dir/bench_ablation_secondary_certs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_secondary_certs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_unique_ases"
+  "../bench/bench_fig1_unique_ases.pdb"
+  "CMakeFiles/bench_fig1_unique_ases.dir/bench_fig1_unique_ases.cc.o"
+  "CMakeFiles/bench_fig1_unique_ases.dir/bench_fig1_unique_ases.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_unique_ases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

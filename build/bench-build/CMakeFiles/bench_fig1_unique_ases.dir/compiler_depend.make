@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig1_unique_ases.
+# This may be replaced when dependencies are built.

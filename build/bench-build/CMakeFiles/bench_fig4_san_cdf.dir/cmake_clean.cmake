@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_san_cdf"
+  "../bench/bench_fig4_san_cdf.pdb"
+  "CMakeFiles/bench_fig4_san_cdf.dir/bench_fig4_san_cdf.cc.o"
+  "CMakeFiles/bench_fig4_san_cdf.dir/bench_fig4_san_cdf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_san_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_san_tail"
+  "../bench/bench_fig5_san_tail.pdb"
+  "CMakeFiles/bench_fig5_san_tail.dir/bench_fig5_san_tail.cc.o"
+  "CMakeFiles/bench_fig5_san_tail.dir/bench_fig5_san_tail.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_san_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

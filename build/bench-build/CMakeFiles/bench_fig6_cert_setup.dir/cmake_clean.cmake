@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_cert_setup"
+  "../bench/bench_fig6_cert_setup.pdb"
+  "CMakeFiles/bench_fig6_cert_setup.dir/bench_fig6_cert_setup.cc.o"
+  "CMakeFiles/bench_fig6_cert_setup.dir/bench_fig6_cert_setup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_cert_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

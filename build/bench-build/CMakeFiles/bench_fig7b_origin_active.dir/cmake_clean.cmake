@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7b_origin_active"
+  "../bench/bench_fig7b_origin_active.pdb"
+  "CMakeFiles/bench_fig7b_origin_active.dir/bench_fig7b_origin_active.cc.o"
+  "CMakeFiles/bench_fig7b_origin_active.dir/bench_fig7b_origin_active.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7b_origin_active.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_longitudinal"
+  "../bench/bench_fig8_longitudinal.pdb"
+  "CMakeFiles/bench_fig8_longitudinal.dir/bench_fig8_longitudinal.cc.o"
+  "CMakeFiles/bench_fig8_longitudinal.dir/bench_fig8_longitudinal.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_longitudinal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_plt"
+  "../bench/bench_fig9_plt.pdb"
+  "CMakeFiles/bench_fig9_plt.dir/bench_fig9_plt.cc.o"
+  "CMakeFiles/bench_fig9_plt.dir/bench_fig9_plt.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_plt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_perf_codec"
+  "../bench/bench_perf_codec.pdb"
+  "CMakeFiles/bench_perf_codec.dir/bench_perf_codec.cc.o"
+  "CMakeFiles/bench_perf_codec.dir/bench_perf_codec.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_ases"
+  "../bench/bench_table2_ases.pdb"
+  "CMakeFiles/bench_table2_ases.dir/bench_table2_ases.cc.o"
+  "CMakeFiles/bench_table2_ases.dir/bench_table2_ases.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_protocols"
+  "../bench/bench_table3_protocols.pdb"
+  "CMakeFiles/bench_table3_protocols.dir/bench_table3_protocols.cc.o"
+  "CMakeFiles/bench_table3_protocols.dir/bench_table3_protocols.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_issuers"
+  "../bench/bench_table4_issuers.pdb"
+  "CMakeFiles/bench_table4_issuers.dir/bench_table4_issuers.cc.o"
+  "CMakeFiles/bench_table4_issuers.dir/bench_table4_issuers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_issuers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_content_types"
+  "../bench/bench_table5_content_types.pdb"
+  "CMakeFiles/bench_table5_content_types.dir/bench_table5_content_types.cc.o"
+  "CMakeFiles/bench_table5_content_types.dir/bench_table5_content_types.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_content_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_as_content"
+  "../bench/bench_table6_as_content.pdb"
+  "CMakeFiles/bench_table6_as_content.dir/bench_table6_as_content.cc.o"
+  "CMakeFiles/bench_table6_as_content.dir/bench_table6_as_content.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_as_content.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_hostnames"
+  "../bench/bench_table7_hostnames.pdb"
+  "CMakeFiles/bench_table7_hostnames.dir/bench_table7_hostnames.cc.o"
+  "CMakeFiles/bench_table7_hostnames.dir/bench_table7_hostnames.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_hostnames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

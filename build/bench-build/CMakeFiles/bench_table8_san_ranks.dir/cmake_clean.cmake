@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table8_san_ranks"
+  "../bench/bench_table8_san_ranks.pdb"
+  "CMakeFiles/bench_table8_san_ranks.dir/bench_table8_san_ranks.cc.o"
+  "CMakeFiles/bench_table8_san_ranks.dir/bench_table8_san_ranks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_san_ranks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

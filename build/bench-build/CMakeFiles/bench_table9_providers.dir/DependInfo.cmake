@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table9_providers.cc" "bench-build/CMakeFiles/bench_table9_providers.dir/bench_table9_providers.cc.o" "gcc" "bench-build/CMakeFiles/bench_table9_providers.dir/bench_table9_providers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cdn/CMakeFiles/repro_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/repro_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/repro_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/repro_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/repro_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/repro_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/repro_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ct/CMakeFiles/repro_ct.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/repro_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/repro_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/h2/CMakeFiles/repro_h2.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpack/CMakeFiles/repro_hpack.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/repro_web.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table9_providers"
+  "../bench/bench_table9_providers.pdb"
+  "CMakeFiles/bench_table9_providers.dir/bench_table9_providers.cc.o"
+  "CMakeFiles/bench_table9_providers.dir/bench_table9_providers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_providers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

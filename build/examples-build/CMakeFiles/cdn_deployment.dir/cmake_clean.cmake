@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/cdn_deployment"
+  "../examples/cdn_deployment.pdb"
+  "CMakeFiles/cdn_deployment.dir/cdn_deployment.cpp.o"
+  "CMakeFiles/cdn_deployment.dir/cdn_deployment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdn_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

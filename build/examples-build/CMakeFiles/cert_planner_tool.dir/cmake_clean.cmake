@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/cert_planner_tool"
+  "../examples/cert_planner_tool.pdb"
+  "CMakeFiles/cert_planner_tool.dir/cert_planner_tool.cpp.o"
+  "CMakeFiles/cert_planner_tool.dir/cert_planner_tool.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cert_planner_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cert_planner_tool.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/har_export"
+  "../examples/har_export.pdb"
+  "CMakeFiles/har_export.dir/har_export.cpp.o"
+  "CMakeFiles/har_export.dir/har_export.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/har_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

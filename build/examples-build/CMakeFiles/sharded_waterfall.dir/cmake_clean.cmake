@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/sharded_waterfall"
+  "../examples/sharded_waterfall.pdb"
+  "CMakeFiles/sharded_waterfall.dir/sharded_waterfall.cpp.o"
+  "CMakeFiles/sharded_waterfall.dir/sharded_waterfall.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_waterfall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

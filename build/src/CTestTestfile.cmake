@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("hpack")
+subdirs("h2")
+subdirs("tls")
+subdirs("dns")
+subdirs("netsim")
+subdirs("web")
+subdirs("server")
+subdirs("browser")
+subdirs("dataset")
+subdirs("model")
+subdirs("measure")
+subdirs("cdn")
+subdirs("ct")
+subdirs("h1")

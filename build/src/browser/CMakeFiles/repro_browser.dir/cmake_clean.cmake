@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_browser.dir/environment.cc.o"
+  "CMakeFiles/repro_browser.dir/environment.cc.o.d"
+  "CMakeFiles/repro_browser.dir/page_loader.cc.o"
+  "CMakeFiles/repro_browser.dir/page_loader.cc.o.d"
+  "CMakeFiles/repro_browser.dir/policy.cc.o"
+  "CMakeFiles/repro_browser.dir/policy.cc.o.d"
+  "CMakeFiles/repro_browser.dir/wire_client.cc.o"
+  "CMakeFiles/repro_browser.dir/wire_client.cc.o.d"
+  "librepro_browser.a"
+  "librepro_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_cdn.dir/deployment.cc.o"
+  "CMakeFiles/repro_cdn.dir/deployment.cc.o.d"
+  "librepro_cdn.a"
+  "librepro_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

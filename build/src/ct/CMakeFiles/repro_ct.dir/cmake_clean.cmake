@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_ct.dir/ct_log.cc.o"
+  "CMakeFiles/repro_ct.dir/ct_log.cc.o.d"
+  "CMakeFiles/repro_ct.dir/merkle.cc.o"
+  "CMakeFiles/repro_ct.dir/merkle.cc.o.d"
+  "librepro_ct.a"
+  "librepro_ct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_ct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_dataset.dir/catalog.cc.o"
+  "CMakeFiles/repro_dataset.dir/catalog.cc.o.d"
+  "CMakeFiles/repro_dataset.dir/collector.cc.o"
+  "CMakeFiles/repro_dataset.dir/collector.cc.o.d"
+  "CMakeFiles/repro_dataset.dir/generator.cc.o"
+  "CMakeFiles/repro_dataset.dir/generator.cc.o.d"
+  "librepro_dataset.a"
+  "librepro_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

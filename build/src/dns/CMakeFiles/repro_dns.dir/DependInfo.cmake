@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/record.cc" "src/dns/CMakeFiles/repro_dns.dir/record.cc.o" "gcc" "src/dns/CMakeFiles/repro_dns.dir/record.cc.o.d"
+  "/root/repo/src/dns/resolver.cc" "src/dns/CMakeFiles/repro_dns.dir/resolver.cc.o" "gcc" "src/dns/CMakeFiles/repro_dns.dir/resolver.cc.o.d"
+  "/root/repo/src/dns/zone.cc" "src/dns/CMakeFiles/repro_dns.dir/zone.cc.o" "gcc" "src/dns/CMakeFiles/repro_dns.dir/zone.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

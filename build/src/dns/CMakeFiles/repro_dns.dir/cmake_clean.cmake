@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_dns.dir/record.cc.o"
+  "CMakeFiles/repro_dns.dir/record.cc.o.d"
+  "CMakeFiles/repro_dns.dir/resolver.cc.o"
+  "CMakeFiles/repro_dns.dir/resolver.cc.o.d"
+  "CMakeFiles/repro_dns.dir/zone.cc.o"
+  "CMakeFiles/repro_dns.dir/zone.cc.o.d"
+  "librepro_dns.a"
+  "librepro_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

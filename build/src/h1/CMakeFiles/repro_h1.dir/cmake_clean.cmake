@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_h1.dir/message.cc.o"
+  "CMakeFiles/repro_h1.dir/message.cc.o.d"
+  "CMakeFiles/repro_h1.dir/server.cc.o"
+  "CMakeFiles/repro_h1.dir/server.cc.o.d"
+  "librepro_h1.a"
+  "librepro_h1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_h1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

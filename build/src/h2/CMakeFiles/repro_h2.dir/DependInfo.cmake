@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/h2/connection.cc" "src/h2/CMakeFiles/repro_h2.dir/connection.cc.o" "gcc" "src/h2/CMakeFiles/repro_h2.dir/connection.cc.o.d"
+  "/root/repo/src/h2/flow_control.cc" "src/h2/CMakeFiles/repro_h2.dir/flow_control.cc.o" "gcc" "src/h2/CMakeFiles/repro_h2.dir/flow_control.cc.o.d"
+  "/root/repo/src/h2/frame.cc" "src/h2/CMakeFiles/repro_h2.dir/frame.cc.o" "gcc" "src/h2/CMakeFiles/repro_h2.dir/frame.cc.o.d"
+  "/root/repo/src/h2/origin_set.cc" "src/h2/CMakeFiles/repro_h2.dir/origin_set.cc.o" "gcc" "src/h2/CMakeFiles/repro_h2.dir/origin_set.cc.o.d"
+  "/root/repo/src/h2/secondary_certs.cc" "src/h2/CMakeFiles/repro_h2.dir/secondary_certs.cc.o" "gcc" "src/h2/CMakeFiles/repro_h2.dir/secondary_certs.cc.o.d"
+  "/root/repo/src/h2/settings.cc" "src/h2/CMakeFiles/repro_h2.dir/settings.cc.o" "gcc" "src/h2/CMakeFiles/repro_h2.dir/settings.cc.o.d"
+  "/root/repo/src/h2/stream.cc" "src/h2/CMakeFiles/repro_h2.dir/stream.cc.o" "gcc" "src/h2/CMakeFiles/repro_h2.dir/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hpack/CMakeFiles/repro_hpack.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/repro_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_h2.dir/connection.cc.o"
+  "CMakeFiles/repro_h2.dir/connection.cc.o.d"
+  "CMakeFiles/repro_h2.dir/flow_control.cc.o"
+  "CMakeFiles/repro_h2.dir/flow_control.cc.o.d"
+  "CMakeFiles/repro_h2.dir/frame.cc.o"
+  "CMakeFiles/repro_h2.dir/frame.cc.o.d"
+  "CMakeFiles/repro_h2.dir/origin_set.cc.o"
+  "CMakeFiles/repro_h2.dir/origin_set.cc.o.d"
+  "CMakeFiles/repro_h2.dir/secondary_certs.cc.o"
+  "CMakeFiles/repro_h2.dir/secondary_certs.cc.o.d"
+  "CMakeFiles/repro_h2.dir/settings.cc.o"
+  "CMakeFiles/repro_h2.dir/settings.cc.o.d"
+  "CMakeFiles/repro_h2.dir/stream.cc.o"
+  "CMakeFiles/repro_h2.dir/stream.cc.o.d"
+  "librepro_h2.a"
+  "librepro_h2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_h2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

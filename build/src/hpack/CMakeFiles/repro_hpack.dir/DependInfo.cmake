@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hpack/hpack.cc" "src/hpack/CMakeFiles/repro_hpack.dir/hpack.cc.o" "gcc" "src/hpack/CMakeFiles/repro_hpack.dir/hpack.cc.o.d"
+  "/root/repo/src/hpack/huffman.cc" "src/hpack/CMakeFiles/repro_hpack.dir/huffman.cc.o" "gcc" "src/hpack/CMakeFiles/repro_hpack.dir/huffman.cc.o.d"
+  "/root/repo/src/hpack/integer.cc" "src/hpack/CMakeFiles/repro_hpack.dir/integer.cc.o" "gcc" "src/hpack/CMakeFiles/repro_hpack.dir/integer.cc.o.d"
+  "/root/repo/src/hpack/tables.cc" "src/hpack/CMakeFiles/repro_hpack.dir/tables.cc.o" "gcc" "src/hpack/CMakeFiles/repro_hpack.dir/tables.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_hpack.dir/hpack.cc.o"
+  "CMakeFiles/repro_hpack.dir/hpack.cc.o.d"
+  "CMakeFiles/repro_hpack.dir/huffman.cc.o"
+  "CMakeFiles/repro_hpack.dir/huffman.cc.o.d"
+  "CMakeFiles/repro_hpack.dir/integer.cc.o"
+  "CMakeFiles/repro_hpack.dir/integer.cc.o.d"
+  "CMakeFiles/repro_hpack.dir/tables.cc.o"
+  "CMakeFiles/repro_hpack.dir/tables.cc.o.d"
+  "librepro_hpack.a"
+  "librepro_hpack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_hpack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_measure.dir/passive.cc.o"
+  "CMakeFiles/repro_measure.dir/passive.cc.o.d"
+  "CMakeFiles/repro_measure.dir/reports.cc.o"
+  "CMakeFiles/repro_measure.dir/reports.cc.o.d"
+  "librepro_measure.a"
+  "librepro_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

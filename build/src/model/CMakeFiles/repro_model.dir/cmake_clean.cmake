@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_model.dir/cert_planner.cc.o"
+  "CMakeFiles/repro_model.dir/cert_planner.cc.o.d"
+  "CMakeFiles/repro_model.dir/coalescing_model.cc.o"
+  "CMakeFiles/repro_model.dir/coalescing_model.cc.o.d"
+  "librepro_model.a"
+  "librepro_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_netsim.dir/middleboxes.cc.o"
+  "CMakeFiles/repro_netsim.dir/middleboxes.cc.o.d"
+  "CMakeFiles/repro_netsim.dir/network.cc.o"
+  "CMakeFiles/repro_netsim.dir/network.cc.o.d"
+  "CMakeFiles/repro_netsim.dir/simulator.cc.o"
+  "CMakeFiles/repro_netsim.dir/simulator.cc.o.d"
+  "librepro_netsim.a"
+  "librepro_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

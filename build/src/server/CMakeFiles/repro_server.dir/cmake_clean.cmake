@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_server.dir/http2_server.cc.o"
+  "CMakeFiles/repro_server.dir/http2_server.cc.o.d"
+  "librepro_server.a"
+  "librepro_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tls/ca.cc" "src/tls/CMakeFiles/repro_tls.dir/ca.cc.o" "gcc" "src/tls/CMakeFiles/repro_tls.dir/ca.cc.o.d"
+  "/root/repo/src/tls/certificate.cc" "src/tls/CMakeFiles/repro_tls.dir/certificate.cc.o" "gcc" "src/tls/CMakeFiles/repro_tls.dir/certificate.cc.o.d"
+  "/root/repo/src/tls/handshake.cc" "src/tls/CMakeFiles/repro_tls.dir/handshake.cc.o" "gcc" "src/tls/CMakeFiles/repro_tls.dir/handshake.cc.o.d"
+  "/root/repo/src/tls/ocsp.cc" "src/tls/CMakeFiles/repro_tls.dir/ocsp.cc.o" "gcc" "src/tls/CMakeFiles/repro_tls.dir/ocsp.cc.o.d"
+  "/root/repo/src/tls/sni.cc" "src/tls/CMakeFiles/repro_tls.dir/sni.cc.o" "gcc" "src/tls/CMakeFiles/repro_tls.dir/sni.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_tls.dir/ca.cc.o"
+  "CMakeFiles/repro_tls.dir/ca.cc.o.d"
+  "CMakeFiles/repro_tls.dir/certificate.cc.o"
+  "CMakeFiles/repro_tls.dir/certificate.cc.o.d"
+  "CMakeFiles/repro_tls.dir/handshake.cc.o"
+  "CMakeFiles/repro_tls.dir/handshake.cc.o.d"
+  "CMakeFiles/repro_tls.dir/ocsp.cc.o"
+  "CMakeFiles/repro_tls.dir/ocsp.cc.o.d"
+  "CMakeFiles/repro_tls.dir/sni.cc.o"
+  "CMakeFiles/repro_tls.dir/sni.cc.o.d"
+  "librepro_tls.a"
+  "librepro_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_util.dir/bytes.cc.o"
+  "CMakeFiles/repro_util.dir/bytes.cc.o.d"
+  "CMakeFiles/repro_util.dir/json.cc.o"
+  "CMakeFiles/repro_util.dir/json.cc.o.d"
+  "CMakeFiles/repro_util.dir/rng.cc.o"
+  "CMakeFiles/repro_util.dir/rng.cc.o.d"
+  "CMakeFiles/repro_util.dir/stats.cc.o"
+  "CMakeFiles/repro_util.dir/stats.cc.o.d"
+  "CMakeFiles/repro_util.dir/strings.cc.o"
+  "CMakeFiles/repro_util.dir/strings.cc.o.d"
+  "CMakeFiles/repro_util.dir/table.cc.o"
+  "CMakeFiles/repro_util.dir/table.cc.o.d"
+  "librepro_util.a"
+  "librepro_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

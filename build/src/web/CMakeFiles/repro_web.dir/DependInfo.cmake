@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/web/har.cc" "src/web/CMakeFiles/repro_web.dir/har.cc.o" "gcc" "src/web/CMakeFiles/repro_web.dir/har.cc.o.d"
+  "/root/repo/src/web/har_json.cc" "src/web/CMakeFiles/repro_web.dir/har_json.cc.o" "gcc" "src/web/CMakeFiles/repro_web.dir/har_json.cc.o.d"
+  "/root/repo/src/web/resource.cc" "src/web/CMakeFiles/repro_web.dir/resource.cc.o" "gcc" "src/web/CMakeFiles/repro_web.dir/resource.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/repro_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

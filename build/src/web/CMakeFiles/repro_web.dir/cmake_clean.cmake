@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_web.dir/har.cc.o"
+  "CMakeFiles/repro_web.dir/har.cc.o.d"
+  "CMakeFiles/repro_web.dir/har_json.cc.o"
+  "CMakeFiles/repro_web.dir/har_json.cc.o.d"
+  "CMakeFiles/repro_web.dir/resource.cc.o"
+  "CMakeFiles/repro_web.dir/resource.cc.o.d"
+  "librepro_web.a"
+  "librepro_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/browser_loader_test.cc" "tests/CMakeFiles/browser_loader_test.dir/browser_loader_test.cc.o" "gcc" "tests/CMakeFiles/browser_loader_test.dir/browser_loader_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/browser/CMakeFiles/repro_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/repro_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/repro_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/h2/CMakeFiles/repro_h2.dir/DependInfo.cmake"
+  "/root/repo/build/src/hpack/CMakeFiles/repro_hpack.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/repro_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/repro_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/repro_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browser_loader_test.dir/browser_loader_test.cc.o"
+  "CMakeFiles/browser_loader_test.dir/browser_loader_test.cc.o.d"
+  "browser_loader_test"
+  "browser_loader_test.pdb"
+  "browser_loader_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browser_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

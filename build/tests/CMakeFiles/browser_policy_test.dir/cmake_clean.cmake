@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browser_policy_test.dir/browser_policy_test.cc.o"
+  "CMakeFiles/browser_policy_test.dir/browser_policy_test.cc.o.d"
+  "browser_policy_test"
+  "browser_policy_test.pdb"
+  "browser_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browser_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h1_test.dir/h1_test.cc.o"
+  "CMakeFiles/h1_test.dir/h1_test.cc.o.d"
+  "h1_test"
+  "h1_test.pdb"
+  "h1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_connection_test.dir/h2_connection_test.cc.o"
+  "CMakeFiles/h2_connection_test.dir/h2_connection_test.cc.o.d"
+  "h2_connection_test"
+  "h2_connection_test.pdb"
+  "h2_connection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_connection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

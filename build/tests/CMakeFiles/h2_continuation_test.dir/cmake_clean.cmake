@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2_continuation_test.dir/h2_continuation_test.cc.o"
+  "CMakeFiles/h2_continuation_test.dir/h2_continuation_test.cc.o.d"
+  "h2_continuation_test"
+  "h2_continuation_test.pdb"
+  "h2_continuation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2_continuation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpack_test.dir/hpack_test.cc.o"
+  "CMakeFiles/hpack_test.dir/hpack_test.cc.o.d"
+  "hpack_test"
+  "hpack_test.pdb"
+  "hpack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

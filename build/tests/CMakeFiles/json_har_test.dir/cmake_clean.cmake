@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_har_test.dir/json_har_test.cc.o"
+  "CMakeFiles/json_har_test.dir/json_har_test.cc.o.d"
+  "json_har_test"
+  "json_har_test.pdb"
+  "json_har_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_har_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

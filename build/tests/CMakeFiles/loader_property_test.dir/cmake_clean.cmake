@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loader_property_test.dir/loader_property_test.cc.o"
+  "CMakeFiles/loader_property_test.dir/loader_property_test.cc.o.d"
+  "loader_property_test"
+  "loader_property_test.pdb"
+  "loader_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loader_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_cdn_test.dir/measure_cdn_test.cc.o"
+  "CMakeFiles/measure_cdn_test.dir/measure_cdn_test.cc.o.d"
+  "measure_cdn_test"
+  "measure_cdn_test.pdb"
+  "measure_cdn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_cdn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

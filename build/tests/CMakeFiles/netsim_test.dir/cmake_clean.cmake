@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsim_test.dir/netsim_test.cc.o"
+  "CMakeFiles/netsim_test.dir/netsim_test.cc.o.d"
+  "netsim_test"
+  "netsim_test.pdb"
+  "netsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocsp_test.dir/ocsp_test.cc.o"
+  "CMakeFiles/ocsp_test.dir/ocsp_test.cc.o.d"
+  "ocsp_test"
+  "ocsp_test.pdb"
+  "ocsp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocsp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secondary_certs_test.dir/secondary_certs_test.cc.o"
+  "CMakeFiles/secondary_certs_test.dir/secondary_certs_test.cc.o.d"
+  "secondary_certs_test"
+  "secondary_certs_test.pdb"
+  "secondary_certs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secondary_certs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_wire_test.dir/server_wire_test.cc.o"
+  "CMakeFiles/server_wire_test.dir/server_wire_test.cc.o.d"
+  "server_wire_test"
+  "server_wire_test.pdb"
+  "server_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

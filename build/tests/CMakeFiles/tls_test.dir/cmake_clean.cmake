@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_test.dir/tls_test.cc.o"
+  "CMakeFiles/tls_test.dir/tls_test.cc.o.d"
+  "tls_test"
+  "tls_test.pdb"
+  "tls_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

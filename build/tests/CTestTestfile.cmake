@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/hpack_test[1]_include.cmake")
+include("/root/repo/build/tests/h2_frame_test[1]_include.cmake")
+include("/root/repo/build/tests/h2_connection_test[1]_include.cmake")
+include("/root/repo/build/tests/tls_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_test[1]_include.cmake")
+include("/root/repo/build/tests/netsim_test[1]_include.cmake")
+include("/root/repo/build/tests/browser_policy_test[1]_include.cmake")
+include("/root/repo/build/tests/browser_loader_test[1]_include.cmake")
+include("/root/repo/build/tests/server_wire_test[1]_include.cmake")
+include("/root/repo/build/tests/dataset_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/measure_cdn_test[1]_include.cmake")
+include("/root/repo/build/tests/h2_continuation_test[1]_include.cmake")
+include("/root/repo/build/tests/secondary_certs_test[1]_include.cmake")
+include("/root/repo/build/tests/json_har_test[1]_include.cmake")
+include("/root/repo/build/tests/ct_test[1]_include.cmake")
+include("/root/repo/build/tests/h1_test[1]_include.cmake")
+include("/root/repo/build/tests/ocsp_test[1]_include.cmake")
+include("/root/repo/build/tests/web_test[1]_include.cmake")
+include("/root/repo/build/tests/roundtrip_property_test[1]_include.cmake")
+include("/root/repo/build/tests/loader_property_test[1]_include.cmake")
