@@ -1,0 +1,48 @@
+// Fuzz driver: HTTP/2 frame codec (src/h2/frame.cc).
+//
+// Properties exercised on every input:
+//   1. Totality — FrameParser::feed never crashes, whatever the bytes; a
+//      malformed frame surfaces as a util::Result error.
+//   2. Chunking independence — feeding the same bytes in two pieces yields
+//      the same accept/reject outcome as one piece (the parser is
+//      incremental; the §6.7 middlebox incident is precisely a peer that
+//      breaks framing mid-stream).
+//   3. Reserialization closure — every successfully parsed frame
+//      reserializes to bytes the parser accepts again.
+#include <cstdint>
+#include <span>
+
+#include "h2/frame.h"
+#include "util/check.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> input(data, size);
+
+  origin::h2::FrameParser whole;
+  auto frames = whole.feed(input);
+
+  // Chunked feed must agree with whole-buffer feed on accept/reject.
+  origin::h2::FrameParser chunked;
+  const std::size_t split = size / 2;
+  auto first = chunked.feed(input.subspan(0, split));
+  if (first.ok()) {
+    auto second = chunked.feed(input.subspan(split));
+    ORIGIN_CHECK(second.ok() == frames.ok(),
+                 "h2 fuzz: chunked feed disagrees with whole feed");
+  } else {
+    ORIGIN_CHECK(!frames.ok(), "h2 fuzz: early chunk error but whole feed ok");
+  }
+
+  if (frames.ok()) {
+    for (const auto& frame : frames.value()) {
+      const auto wire = origin::h2::serialize_frame(frame);
+      origin::h2::FrameParser reparse;
+      auto round = reparse.feed(wire);
+      ORIGIN_CHECK(round.ok(), "h2 fuzz: reserialized frame rejected");
+      ORIGIN_CHECK(round.value().size() == 1,
+                   "h2 fuzz: reserialized frame count != 1");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fuzz driver: HPACK decoder (src/hpack/).
+//
+// Properties exercised on every input:
+//   1. Totality — Decoder::decode never crashes on an arbitrary header
+//      block; RFC 7541's "MUST treat as decoding error" clauses surface as
+//      util::Result errors.
+//   2. Re-encode closure — a successfully decoded header list re-encodes
+//      (fresh Encoder) and decodes back (fresh Decoder) to the same fields
+//      in the same order.
+//   3. Decoder-state isolation — decoding an adversarial block leaves the
+//      dynamic table small enough to respect its ceiling.
+#include <cstdint>
+#include <span>
+
+#include "hpack/hpack.h"
+#include "util/check.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> input(data, size);
+
+  origin::hpack::Decoder decoder;
+  auto headers = decoder.decode(input);
+  ORIGIN_CHECK(decoder.dynamic_table_size() <= 4096,
+               "hpack fuzz: dynamic table exceeds ceiling");
+  if (!headers.ok()) return 0;
+
+  origin::hpack::Encoder encoder;
+  const auto block = encoder.encode(headers.value());
+  origin::hpack::Decoder redecode;
+  auto round = redecode.decode(block);
+  ORIGIN_CHECK(round.ok(), "hpack fuzz: re-encoded block rejected");
+  ORIGIN_CHECK(round.value().size() == headers.value().size(),
+               "hpack fuzz: roundtrip changed field count");
+  for (std::size_t i = 0; i < round.value().size(); ++i) {
+    ORIGIN_CHECK(round.value()[i].name == headers.value()[i].name,
+                 "hpack fuzz: roundtrip changed a field name");
+    ORIGIN_CHECK(round.value()[i].value == headers.value()[i].value,
+                 "hpack fuzz: roundtrip changed a field value");
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# CI entrypoint for the parser-hardening quality gate.
+#
+# Runs, in order:
+#   1. tier-1: default build + full ctest (includes the origin_lint gate and
+#      the deterministic fuzz-corpus replays)
+#   2. clang-tidy over the parser directories, when clang-tidy is on PATH
+#      (advisory skip otherwise — the pinned CI image is gcc-only)
+#   3. ASan preset build + full ctest
+#   4. UBSan preset build + full ctest
+#
+# Usage: scripts/check.sh [--quick]
+#   --quick   tier-1 + lint only; skip the sanitizer rebuilds.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+run_suite() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+echo "==> [1/4] tier-1 build + ctest (lint + fuzz replays included)"
+run_suite build
+
+echo "==> [2/4] clang-tidy (parser directories)"
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  git ls-files 'src/h2/*.cc' 'src/hpack/*.cc' 'src/web/*.cc' 'src/util/*.cc' |
+    xargs clang-tidy -p build --quiet
+else
+  echo "clang-tidy not found; skipping (advisory on this image)"
+fi
+
+if [[ "$QUICK" == "1" ]]; then
+  echo "==> --quick: skipping sanitizer presets"
+  exit 0
+fi
+
+echo "==> [3/4] AddressSanitizer preset"
+run_suite build-asan -DORIGIN_SANITIZE=address
+
+echo "==> [4/4] UndefinedBehaviorSanitizer preset"
+run_suite build-ubsan -DORIGIN_SANITIZE=undefined
+
+echo "==> all checks passed"

@@ -1,7 +1,8 @@
 #include "cdn/deployment.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.h"
 
 namespace origin::cdn {
 
@@ -27,7 +28,8 @@ Deployment::Deployment(dataset::Corpus& corpus, DeploymentOptions options)
     control_pad_ += "x";
   }
   control_pad_ = control_pad_.substr(0, options_.third_party.size());
-  assert(control_pad_.size() == options_.third_party.size());
+  ORIGIN_CHECK(control_pad_.size() == options_.third_party.size(),
+               "control pad must match third-party length (Figure 6)");
 }
 
 std::size_t Deployment::prepare() {

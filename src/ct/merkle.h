@@ -32,7 +32,7 @@ class MerkleTree {
 
   // RFC 6962 §2.1.1 inclusion proof: the audit path for leaf `index` in the
   // tree of size `tree_size`.
-  origin::util::Result<std::vector<Digest>> inclusion_proof(
+  [[nodiscard]] origin::util::Result<std::vector<Digest>> inclusion_proof(
       std::uint64_t index, std::uint64_t tree_size) const;
 
   // Verifies an audit path against a root.
@@ -41,7 +41,7 @@ class MerkleTree {
                                const std::vector<Digest>& path, Digest root);
 
   // RFC 6962 §2.1.2 consistency proof between two historic sizes.
-  origin::util::Result<std::vector<Digest>> consistency_proof(
+  [[nodiscard]] origin::util::Result<std::vector<Digest>> consistency_proof(
       std::uint64_t old_size, std::uint64_t new_size) const;
 
   // Verifies that the tree of `new_size` with `new_root` is an append-only

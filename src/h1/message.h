@@ -52,14 +52,14 @@ class MessageParser {
  public:
   // Appends bytes; returns all messages completed by them. A malformed
   // stream poisons the parser (ok() goes false).
-  origin::util::Result<std::vector<Message>> feed(std::string_view bytes);
+  [[nodiscard]] origin::util::Result<std::vector<Message>> feed(std::string_view bytes);
   bool ok() const { return ok_; }
   std::size_t buffered() const { return buffer_.size(); }
 
  private:
   enum class State { kHeaders, kBody, kChunkSize, kChunkData, kChunkTrailer };
 
-  origin::util::Status parse_head(std::string_view head, Message& out);
+  [[nodiscard]] origin::util::Status parse_head(std::string_view head, Message& out);
 
   std::string buffer_;
   Message current_;

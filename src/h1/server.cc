@@ -1,5 +1,7 @@
 #include "h1/server.h"
 
+#include "util/bytes.h"
+
 namespace origin::h1 {
 
 using origin::util::make_error;
@@ -20,8 +22,7 @@ void Http1Server::accept(netsim::TcpEndpoint endpoint) {
   Session* raw = session.get();
   session->endpoint.set_on_receive(
       [this, raw](std::span<const std::uint8_t> bytes) {
-        auto requests = raw->parser.feed(std::string_view(
-            reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+        auto requests = raw->parser.feed(origin::util::as_string_view(bytes));
         if (!requests.ok()) {
           raw->endpoint.close("h1: malformed request");
           return;
@@ -99,8 +100,7 @@ void Http1Client::dispatch(const std::string& host, dns::IpAddress address) {
         connection->endpoint = *endpoint;
         connection->endpoint.set_on_receive(
             [this, connection, host, address](std::span<const std::uint8_t> bytes) {
-              auto responses = connection->parser.feed(std::string_view(
-                  reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+              auto responses = connection->parser.feed(origin::util::as_string_view(bytes));
               if (!responses.ok()) {
                 connection->alive = false;
                 if (connection->pending) {

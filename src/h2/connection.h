@@ -65,43 +65,43 @@ class Connection {
   // --- Sending ---------------------------------------------------------
 
   // Client only: opens a new stream carrying `headers`.
-  origin::util::Result<std::uint32_t> submit_request(
+  [[nodiscard]] origin::util::Result<std::uint32_t> submit_request(
       const hpack::HeaderList& headers, bool end_stream);
 
   // Server only: response headers on an open stream.
-  origin::util::Status submit_response(std::uint32_t stream_id,
+  [[nodiscard]] origin::util::Status submit_response(std::uint32_t stream_id,
                                        const hpack::HeaderList& headers,
                                        bool end_stream);
 
-  origin::util::Status submit_data(std::uint32_t stream_id,
+  [[nodiscard]] origin::util::Status submit_data(std::uint32_t stream_id,
                                    std::span<const std::uint8_t> data,
                                    bool end_stream);
 
   // Server only: advertises the origin set on stream 0 (RFC 8336). The
   // serialized frame also updates `advertised_origins()`.
-  origin::util::Status submit_origin(const std::vector<std::string>& origins);
+  [[nodiscard]] origin::util::Status submit_origin(const std::vector<std::string>& origins);
 
   // Server only: proves authority for additional origins by shipping a
   // further certificate on stream 0 (§6.5, secondary-certs draft).
-  origin::util::Status submit_secondary_certificate(
+  [[nodiscard]] origin::util::Status submit_secondary_certificate(
       const tls::Certificate& cert);
 
-  origin::util::Status submit_altsvc(std::uint32_t stream_id,
+  [[nodiscard]] origin::util::Status submit_altsvc(std::uint32_t stream_id,
                                      const std::string& origin,
                                      const std::string& field_value);
 
   void submit_ping(std::uint64_t opaque);
   void submit_goaway(ErrorCode error, const std::string& debug);
-  origin::util::Status submit_rst_stream(std::uint32_t stream_id,
+  [[nodiscard]] origin::util::Status submit_rst_stream(std::uint32_t stream_id,
                                          ErrorCode error);
-  origin::util::Status submit_window_update(std::uint32_t stream_id,
+  [[nodiscard]] origin::util::Status submit_window_update(std::uint32_t stream_id,
                                             std::uint32_t increment);
 
   // --- Receiving -------------------------------------------------------
 
   // Processes peer bytes. A returned error is a connection error: a GOAWAY
   // has been queued in the output and the connection is dead.
-  origin::util::Status receive(std::span<const std::uint8_t> bytes);
+  [[nodiscard]] origin::util::Status receive(std::span<const std::uint8_t> bytes);
 
   // --- Introspection ---------------------------------------------------
 
@@ -134,8 +134,8 @@ class Connection {
   }
 
  private:
-  origin::util::Status handle_frame(Frame frame);
-  origin::util::Status connection_error(ErrorCode code, std::string message);
+  [[nodiscard]] origin::util::Status handle_frame(Frame frame);
+  [[nodiscard]] origin::util::Status connection_error(ErrorCode code, std::string message);
   Stream& ensure_stream(std::uint32_t id);
   void enqueue(const Frame& frame);
 

@@ -22,14 +22,14 @@ class FlowWindow {
 
   // Deducts sent/received bytes. Receiving more than the advertised window
   // is the peer's flow-control violation.
-  origin::util::Status consume(std::int64_t n);
+  [[nodiscard]] origin::util::Status consume(std::int64_t n);
 
   // WINDOW_UPDATE. Fails when the window would exceed 2^31-1.
-  origin::util::Status replenish(std::int64_t n);
+  [[nodiscard]] origin::util::Status replenish(std::int64_t n);
 
   // SETTINGS_INITIAL_WINDOW_SIZE delta applied to all open stream windows
   // (RFC 9113 §6.9.2); may legitimately drive the window negative.
-  origin::util::Status adjust(std::int64_t delta);
+  [[nodiscard]] origin::util::Status adjust(std::int64_t delta);
 
  private:
   std::int64_t available_;

@@ -177,7 +177,7 @@ class FrameParser {
   void set_max_frame_size(std::uint32_t size) { max_frame_size_ = size; }
 
   // Appends bytes to the internal buffer and extracts all complete frames.
-  origin::util::Result<std::vector<Frame>> feed(
+  [[nodiscard]] origin::util::Result<std::vector<Frame>> feed(
       std::span<const std::uint8_t> bytes);
 
   std::size_t buffered_bytes() const { return buffer_.size(); }

@@ -30,7 +30,7 @@ inline constexpr std::uint8_t kCertificateFrameType = 0xd;
 origin::util::Bytes encode_certificate_payload(const tls::Certificate& cert);
 
 // Parses a CERTIFICATE frame payload back into a certificate.
-origin::util::Result<tls::Certificate> decode_certificate_payload(
+[[nodiscard]] origin::util::Result<tls::Certificate> decode_certificate_payload(
     std::span<const std::uint8_t> payload);
 
 // Wire size of the full frame (9-octet header + payload) — the quantity

@@ -19,7 +19,7 @@ struct Settings {
 
   // Applies received settings in order; invalid values are connection
   // errors (RFC 9113 §6.5.2).
-  origin::util::Status apply(
+  [[nodiscard]] origin::util::Status apply(
       const std::vector<std::pair<SettingId, std::uint32_t>>& changes);
 
   // Serializes the non-default values for the initial SETTINGS frame.

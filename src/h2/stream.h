@@ -69,7 +69,7 @@ class Stream {
   bool closed() const { return state_ == StreamState::kClosed; }
 
   // Applies an event; invalid transitions are protocol errors.
-  origin::util::Status apply(StreamEvent event);
+  [[nodiscard]] origin::util::Status apply(StreamEvent event);
 
   FlowWindow& send_window() { return send_window_; }
   FlowWindow& recv_window() { return recv_window_; }

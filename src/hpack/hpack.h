@@ -57,7 +57,7 @@ class Decoder {
   // Parses a complete header block. Errors on any malformed representation;
   // per RFC 7540 §4.3 such an error is a connection error (COMPRESSION_ERROR)
   // at the h2 layer.
-  origin::util::Result<HeaderList> decode(
+  [[nodiscard]] origin::util::Result<HeaderList> decode(
       std::span<const std::uint8_t> block);
 
   // New ceiling advertised via SETTINGS_HEADER_TABLE_SIZE; a subsequent
@@ -68,7 +68,7 @@ class Decoder {
   std::size_t dynamic_table_entries() const { return table_.entry_count(); }
 
  private:
-  origin::util::Result<std::string> decode_string(
+  [[nodiscard]] origin::util::Result<std::string> decode_string(
       origin::util::ByteReader& reader);
 
   DynamicTable table_;

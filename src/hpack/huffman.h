@@ -23,7 +23,7 @@ void huffman_encode(std::string_view s, origin::util::ByteWriter& out);
 
 // Decodes a Huffman-coded string. Errors on invalid padding or a code that
 // decodes to EOS.
-origin::util::Result<std::string> huffman_decode(
+[[nodiscard]] origin::util::Result<std::string> huffman_decode(
     std::span<const std::uint8_t> data);
 
 }  // namespace origin::hpack

@@ -21,7 +21,7 @@ void encode_integer(std::uint64_t value, int prefix_bits,
 
 // Decodes an integer with the given prefix size from `reader`. Rejects
 // encodings over 10 continuation octets (> 2^62) as malformed.
-origin::util::Result<std::uint64_t> decode_integer(
+[[nodiscard]] origin::util::Result<std::uint64_t> decode_integer(
     origin::util::ByteReader& reader, int prefix_bits);
 
 }  // namespace origin::hpack

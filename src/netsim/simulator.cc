@@ -1,7 +1,8 @@
 #include "netsim/simulator.h"
 
-#include <cassert>
 #include <utility>
+
+#include "util/check.h"
 
 namespace origin::netsim {
 
@@ -28,8 +29,7 @@ void Simulator::run_until_idle(std::size_t max_events) {
   std::size_t n = 0;
   while (run_one()) {
     if (++n > max_events) {
-      assert(false && "netsim: event budget exhausted (scheduling loop?)");
-      return;
+      ORIGIN_CHECK(false, "netsim: event budget exhausted (scheduling loop?)");
     }
   }
 }

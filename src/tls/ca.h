@@ -27,13 +27,13 @@ class CertificateAuthority {
 
   // Issues a certificate valid for 90 days from `now`. Fails when the SAN
   // list exceeds this CA's limit.
-  origin::util::Result<Certificate> issue(
+  [[nodiscard]] origin::util::Result<Certificate> issue(
       const std::string& subject_common_name,
       std::vector<std::string> san_dns, origin::util::SimTime now);
 
   // Re-issues `existing` with extra SAN entries appended (deduplicated),
   // fresh serial and validity — the §5.1 certificate-renewal operation.
-  origin::util::Result<Certificate> reissue_with_sans(
+  [[nodiscard]] origin::util::Result<Certificate> reissue_with_sans(
       const Certificate& existing, const std::vector<std::string>& extra_sans,
       origin::util::SimTime now);
 

@@ -75,4 +75,9 @@ class ByteReader {
 std::string to_hex(std::span<const std::uint8_t> bytes);
 Bytes from_string(std::string_view s);
 
+// Views a byte span as text without copying. This is the single audited
+// uint8_t* → char* conversion in the repo; parser code must use it instead
+// of a raw reinterpret_cast (enforced by tools/lint).
+std::string_view as_string_view(std::span<const std::uint8_t> bytes);
+
 }  // namespace origin::util

@@ -1,0 +1,42 @@
+// Always-on invariant checks.
+//
+// `assert` is compiled out of RelWithDebInfo (the default build type) by
+// NDEBUG, which means the invariants it guards are only enforced in the
+// builds nobody benchmarks or deploys. ORIGIN_CHECK stays active in every
+// build type: a violated invariant prints the location and condition to
+// stderr and aborts, so sanitizer runs, fuzz replays, and production-shaped
+// builds all fail loudly instead of continuing on corrupted state.
+//
+// Use ORIGIN_CHECK for conditions that indicate a programming error inside
+// this repository. Malformed *input* (wire bytes, HAR text) must never trip
+// a check — parsers return util::Result errors for that.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace origin::util {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* condition,
+                                      const char* message) {
+  std::fprintf(stderr, "ORIGIN_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               condition, message[0] != '\0' ? " — " : "", message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace origin::util
+
+// ORIGIN_CHECK(cond) or ORIGIN_CHECK(cond, "context message").
+#define ORIGIN_CHECK(...) \
+  ORIGIN_CHECK_SELECT_(__VA_ARGS__, ORIGIN_CHECK_MSG_, ORIGIN_CHECK_BARE_)(__VA_ARGS__)
+#define ORIGIN_CHECK_SELECT_(a, b, macro, ...) macro
+#define ORIGIN_CHECK_BARE_(cond)                                            \
+  do {                                                                      \
+    if (!(cond)) ::origin::util::check_failed(__FILE__, __LINE__, #cond, ""); \
+  } while (0)
+#define ORIGIN_CHECK_MSG_(cond, msg)                                           \
+  do {                                                                         \
+    if (!(cond)) ::origin::util::check_failed(__FILE__, __LINE__, #cond, msg); \
+  } while (0)

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace origin::util {
 
@@ -78,6 +79,9 @@ class Parser {
   Result<Json> parse_value() {
     skip_whitespace();
     if (pos_ >= text_.size()) return make_error("json: unexpected end");
+    if (depth_ >= Json::kMaxParseDepth) {
+      return make_error("json: nesting exceeds depth limit");
+    }
     const char c = text_[pos_];
     if (c == '{') return parse_object();
     if (c == '[') return parse_array();
@@ -94,6 +98,7 @@ class Parser {
 
   Result<Json> parse_object() {
     ++pos_;  // '{'
+    DepthGuard guard(depth_);
     Json::Object object;
     skip_whitespace();
     if (consume('}')) return Json(std::move(object));
@@ -113,6 +118,7 @@ class Parser {
 
   Result<Json> parse_array() {
     ++pos_;  // '['
+    DepthGuard guard(depth_);
     Json::Array array;
     skip_whitespace();
     if (consume(']')) return Json(std::move(array));
@@ -207,11 +213,36 @@ class Parser {
     return Json(static_cast<std::int64_t>(std::strtoll(token.c_str(), nullptr, 10)));
   }
 
+  struct DepthGuard {
+    explicit DepthGuard(int& depth) : depth(depth) { ++depth; }
+    ~DepthGuard() { --depth; }
+    int& depth;
+  };
+
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace
+
+std::int64_t clamp_to_int64(double d) {
+  constexpr double kMax =
+      static_cast<double>(std::numeric_limits<std::int64_t>::max());
+  constexpr double kMin =
+      static_cast<double>(std::numeric_limits<std::int64_t>::min());
+  if (std::isnan(d)) return 0;
+  if (d >= kMax) return std::numeric_limits<std::int64_t>::max();
+  if (d <= kMin) return std::numeric_limits<std::int64_t>::min();
+  return static_cast<std::int64_t>(d);
+}
+
+std::int64_t Json::as_int() const {
+  if (const auto* d = std::get_if<double>(&value_)) {
+    return clamp_to_int64(*d);
+  }
+  return std::get<std::int64_t>(value_);
+}
 
 const Json& Json::operator[](const std::string& key) const {
   if (!is_object()) return null_json();

@@ -16,6 +16,10 @@
 
 namespace origin::util {
 
+// Saturating double → int64 conversion; the raw static_cast is UB when the
+// value is out of range (fuzzed documents carry 1e308 and NaN).
+std::int64_t clamp_to_int64(double d);
+
 class Json {
  public:
   using Array = std::vector<Json>;
@@ -52,13 +56,24 @@ class Json {
     }
     return std::get<double>(value_);
   }
-  std::int64_t as_int() const {
-    if (const auto* d = std::get_if<double>(&value_)) {
-      return static_cast<std::int64_t>(*d);
-    }
-    return std::get<std::int64_t>(value_);
-  }
+  std::int64_t as_int() const;
   const std::string& as_string() const { return std::get<std::string>(value_); }
+
+  // Total accessors: wrong-typed or missing values yield the fallback
+  // instead of throwing, so readers of externally-produced documents
+  // (HAR imports) stay crash-free on arbitrary shapes.
+  bool bool_or(bool fallback) const {
+    return is_bool() ? as_bool() : fallback;
+  }
+  double double_or(double fallback) const {
+    return is_number() ? as_double() : fallback;
+  }
+  std::int64_t int_or(std::int64_t fallback) const {
+    return is_number() ? as_int() : fallback;
+  }
+  std::string string_or(std::string fallback) const {
+    return is_string() ? as_string() : std::move(fallback);
+  }
   const Array& as_array() const { return std::get<Array>(value_); }
   Array& as_array() { return std::get<Array>(value_); }
   const Object& as_object() const { return std::get<Object>(value_); }
@@ -76,7 +91,11 @@ class Json {
   // Serializes compactly; `indent` > 0 pretty-prints.
   std::string dump(int indent = 0) const;
 
-  static Result<Json> parse(std::string_view text);
+  // Rejects documents nested deeper than this (stack-overflow guard; HAR
+  // files are ~4 levels deep, so the bound is generous).
+  static constexpr int kMaxParseDepth = 96;
+
+  [[nodiscard]] static Result<Json> parse(std::string_view text);
 
  private:
   void dump_to(std::string& out, int indent, int depth) const;

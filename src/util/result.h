@@ -3,12 +3,19 @@
 // The harness predates std::expected availability here; this covers the
 // subset we need (value-or-error, monadic map) without exceptions on the
 // hot path.
+//
+// Result and Status are [[nodiscard]]: a parse or decode entrypoint whose
+// return value is ignored silently swallows the error path, which is
+// exactly the failure mode the §6.7 middlebox incident punishes. The
+// tools/lint binary additionally enforces that every parser entrypoint
+// returns one of these types.
 #pragma once
 
-#include <cassert>
 #include <string>
 #include <utility>
 #include <variant>
+
+#include "util/check.h"
 
 namespace origin::util {
 
@@ -16,38 +23,40 @@ struct Error {
   std::string message;
 };
 
-inline Error make_error(std::string message) { return Error{std::move(message)}; }
+[[nodiscard]] inline Error make_error(std::string message) {
+  return Error{std::move(message)};
+}
 
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
   Result(Error error) : storage_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
 
-  bool ok() const { return std::holds_alternative<T>(storage_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(storage_); }
   explicit operator bool() const { return ok(); }
 
-  const T& value() const& {
-    assert(ok());
+  [[nodiscard]] const T& value() const& {
+    ORIGIN_CHECK(ok(), "Result::value() on error");
     return std::get<T>(storage_);
   }
-  T& value() & {
-    assert(ok());
+  [[nodiscard]] T& value() & {
+    ORIGIN_CHECK(ok(), "Result::value() on error");
     return std::get<T>(storage_);
   }
-  T&& value() && {
-    assert(ok());
+  [[nodiscard]] T&& value() && {
+    ORIGIN_CHECK(ok(), "Result::value() on error");
     return std::get<T>(std::move(storage_));
   }
   const T& operator*() const& { return value(); }
   const T* operator->() const { return &value(); }
 
-  const Error& error() const {
-    assert(!ok());
+  [[nodiscard]] const Error& error() const {
+    ORIGIN_CHECK(!ok(), "Result::error() on success");
     return std::get<Error>(storage_);
   }
 
-  T value_or(T fallback) const {
+  [[nodiscard]] T value_or(T fallback) const {
     return ok() ? std::get<T>(storage_) : std::move(fallback);
   }
 
@@ -56,16 +65,16 @@ class Result {
 };
 
 // Result<void> analogue.
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT
 
-  static Status ok_status() { return Status{}; }
-  bool ok() const { return !failed_; }
+  [[nodiscard]] static Status ok_status() { return Status{}; }
+  [[nodiscard]] bool ok() const { return !failed_; }
   explicit operator bool() const { return ok(); }
-  const Error& error() const {
-    assert(failed_);
+  [[nodiscard]] const Error& error() const {
+    ORIGIN_CHECK(failed_, "Status::error() on success");
     return error_;
   }
 

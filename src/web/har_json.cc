@@ -21,7 +21,7 @@ Json timings_json(const PhaseTimings& timings) {
 }
 
 origin::util::Duration millis_field(const Json& timings, const char* key) {
-  return origin::util::Duration::millis(timings[key].as_double());
+  return origin::util::Duration::millis(timings[key].double_or(0.0));
 }
 
 Json entry_json(const HarEntry& entry) {
@@ -137,6 +137,9 @@ std::string to_har_string(const PageLoad& load, int indent) {
   return to_har_json(load).dump(indent);
 }
 
+// Every field access below must be total: a HAR document is external input
+// (the paper's corpora came from Chrome devtools), so a wrong-typed or
+// missing field yields a clean parse error or a default, never a throw.
 Result<PageLoad> from_har_json(const Json& har) {
   const Json& log = har["log"];
   if (!log.is_object()) return make_error("har: missing log object");
@@ -145,34 +148,44 @@ Result<PageLoad> from_har_json(const Json& har) {
     return make_error("har: missing pages");
   }
   const Json& page = pages.as_array().front();
+  if (!page.is_object()) return make_error("har: page is not an object");
+  if (!page["id"].is_string()) return make_error("har: page missing id");
 
   PageLoad load;
   load.base_hostname = page["id"].as_string();
-  load.tranco_rank =
-      static_cast<std::uint64_t>(page["_trancoRank"].as_int());
-  load.success = page["_success"].is_bool() ? page["_success"].as_bool() : true;
+  load.tranco_rank = static_cast<std::uint64_t>(page["_trancoRank"].int_or(0));
+  load.success = page["_success"].bool_or(true);
   load.extra_dns_queries =
-      static_cast<std::size_t>(page["_extraDnsQueries"].as_int());
+      static_cast<std::size_t>(page["_extraDnsQueries"].int_or(0));
   load.extra_tls_connections =
-      static_cast<std::size_t>(page["_extraTlsConnections"].as_int());
+      static_cast<std::size_t>(page["_extraTlsConnections"].int_or(0));
 
   const Json& entries = log["entries"];
   if (!entries.is_array()) return make_error("har: missing entries");
   for (const Json& item : entries.as_array()) {
+    if (!item.is_object()) return make_error("har: entry is not an object");
     HarEntry entry;
     const Json& extension = item["_origin"];
     if (!extension.is_object()) return make_error("har: missing _origin block");
+    if (!item["request"]["url"].is_string()) {
+      return make_error("har: entry missing request.url");
+    }
     const std::string& url = item["request"]["url"].as_string();
     entry.secure = url.rfind("https://", 0) == 0;
-    const std::size_t host_begin = url.find("://") + 3;
-    entry.hostname = url.substr(host_begin, url.find('/', host_begin) - host_begin);
+    const std::size_t scheme_end = url.find("://");
+    if (scheme_end == std::string::npos) {
+      return make_error("har: request.url has no scheme");
+    }
+    const std::size_t host_begin = scheme_end + 3;
+    entry.hostname =
+        url.substr(host_begin, url.find('/', host_begin) - host_begin);
     entry.version =
-        version_from_name(item["request"]["httpVersion"].as_string());
-    entry.status_421 = item["response"]["status"].as_int() == 421;
+        version_from_name(item["request"]["httpVersion"].string_or(""));
+    entry.status_421 = item["response"]["status"].int_or(0) == 421;
     entry.content_type = content_type_from_name(
-        item["response"]["content"]["mimeType"].as_string());
-    entry.start = origin::util::SimTime::from_micros(static_cast<std::int64_t>(
-        item["startedDateTime"].as_double() * 1000.0));
+        item["response"]["content"]["mimeType"].string_or(""));
+    entry.start = origin::util::SimTime::from_micros(origin::util::clamp_to_int64(
+        item["startedDateTime"].double_or(0.0) * 1000.0));
     const Json& timings = item["timings"];
     entry.timings.blocked = millis_field(timings, "blocked");
     entry.timings.dns = millis_field(timings, "dns");
@@ -182,28 +195,31 @@ Result<PageLoad> from_har_json(const Json& har) {
     entry.timings.wait = millis_field(timings, "wait");
     entry.timings.receive = millis_field(timings, "receive");
 
-    entry.resource_index = static_cast<int>(extension["resourceIndex"].as_int());
-    entry.asn = static_cast<std::uint32_t>(extension["asn"].as_int());
+    entry.resource_index = static_cast<int>(extension["resourceIndex"].int_or(0));
+    entry.asn = static_cast<std::uint32_t>(extension["asn"].int_or(0));
     entry.server_address =
-        extension["addressV6"].as_bool()
+        extension["addressV6"].bool_or(false)
             ? dns::IpAddress::v6(
-                  static_cast<std::uint64_t>(extension["addressValue"].as_int()))
+                  static_cast<std::uint64_t>(extension["addressValue"].int_or(0)))
             : dns::IpAddress::v4(
-                  static_cast<std::uint32_t>(extension["addressValue"].as_int()));
-    for (const Json& value : extension["dnsAnswerSet"].as_array()) {
-      entry.dns_answer_set.push_back(
-          dns::IpAddress::v4(static_cast<std::uint32_t>(value.as_int())));
+                  static_cast<std::uint32_t>(extension["addressValue"].int_or(0)));
+    if (extension["dnsAnswerSet"].is_array()) {
+      for (const Json& value : extension["dnsAnswerSet"].as_array()) {
+        entry.dns_answer_set.push_back(
+            dns::IpAddress::v4(static_cast<std::uint32_t>(value.int_or(0))));
+      }
     }
-    entry.mode = mode_from_name(extension["mode"].as_string());
-    entry.new_dns_query = extension["newDnsQuery"].as_bool();
-    entry.new_tls_connection = extension["newTlsConnection"].as_bool();
-    entry.speculative_duplicate = extension["speculativeDuplicate"].as_bool();
+    entry.mode = mode_from_name(extension["mode"].string_or(""));
+    entry.new_dns_query = extension["newDnsQuery"].bool_or(false);
+    entry.new_tls_connection = extension["newTlsConnection"].bool_or(false);
+    entry.speculative_duplicate =
+        extension["speculativeDuplicate"].bool_or(false);
     entry.connection_id =
-        static_cast<std::uint64_t>(extension["connectionId"].as_int());
+        static_cast<std::uint64_t>(extension["connectionId"].int_or(0));
     entry.cert_serial =
-        static_cast<std::uint64_t>(extension["certSerial"].as_int());
-    entry.cert_issuer = extension["certIssuer"].as_string();
-    entry.cert_san_count = extension["certSanCount"].as_int();
+        static_cast<std::uint64_t>(extension["certSerial"].int_or(0));
+    entry.cert_issuer = extension["certIssuer"].string_or("");
+    entry.cert_san_count = static_cast<int>(extension["certSanCount"].int_or(0));
     load.entries.push_back(std::move(entry));
   }
   return load;

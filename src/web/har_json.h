@@ -22,7 +22,7 @@ origin::util::Json to_har_json(const PageLoad& load);
 std::string to_har_string(const PageLoad& load, int indent = 2);
 
 // Parses a HAR document produced by to_har_json back into a PageLoad.
-origin::util::Result<PageLoad> from_har_json(const origin::util::Json& har);
-origin::util::Result<PageLoad> from_har_string(std::string_view text);
+[[nodiscard]] origin::util::Result<PageLoad> from_har_json(const origin::util::Json& har);
+[[nodiscard]] origin::util::Result<PageLoad> from_har_string(std::string_view text);
 
 }  // namespace origin::web

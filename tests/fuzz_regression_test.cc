@@ -1,0 +1,229 @@
+// Regression tests distilled from the fuzz seed corpora (fuzz/corpus/).
+//
+// Each case replays a truncated or malformed input that the parsers must
+// reject with a clean util::Result error — never a crash, throw, or
+// sanitizer finding. Inputs mirror corpus files byte for byte so a corpus
+// regression is also diagnosable here with a readable name, without the
+// fuzz driver in the loop.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "h2/frame.h"
+#include "hpack/hpack.h"
+#include "util/bytes.h"
+#include "util/json.h"
+#include "web/har_json.h"
+
+namespace {
+
+using origin::util::Bytes;
+
+Bytes bytes(std::initializer_list<int> values) {
+  Bytes out;
+  for (int v : values) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+// --- HTTP/2 frame codec --------------------------------------------------
+
+TEST(FuzzRegressionH2, TruncatedHeaderIsIncompleteNotError) {
+  origin::h2::FrameParser parser;
+  auto frames = parser.feed(bytes({0x00, 0x00, 0x0c, 0x04, 0x00}));
+  ASSERT_TRUE(frames.ok());
+  EXPECT_TRUE(frames->empty());
+  EXPECT_EQ(parser.buffered_bytes(), 5u);
+}
+
+TEST(FuzzRegressionH2, OversizeLengthRejected) {
+  origin::h2::FrameParser parser;
+  auto frames =
+      parser.feed(bytes({0xff, 0xff, 0xff, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01}));
+  ASSERT_FALSE(frames.ok());
+  EXPECT_NE(frames.error().message.find("SETTINGS_MAX_FRAME_SIZE"),
+            std::string::npos);
+}
+
+TEST(FuzzRegressionH2, DataPaddingExceedingPayloadRejected) {
+  // corpus: h2_frame/data_pad_overflow.bin — pad length 0xff, 1-byte payload.
+  origin::h2::FrameParser parser;
+  auto frames = parser.feed(
+      bytes({0x00, 0x00, 0x01, 0x00, 0x08, 0x00, 0x00, 0x00, 0x01, 0xff}));
+  ASSERT_FALSE(frames.ok());
+}
+
+TEST(FuzzRegressionH2, HeadersTruncatedPriorityRejected) {
+  // corpus: h2_frame/headers_trunc_priority.bin — PRIORITY flag, 3-byte payload.
+  origin::h2::FrameParser parser;
+  auto frames = parser.feed(bytes(
+      {0x00, 0x00, 0x03, 0x01, 0x20, 0x00, 0x00, 0x00, 0x03, 0x01, 0x02, 0x03}));
+  ASSERT_FALSE(frames.ok());
+}
+
+TEST(FuzzRegressionH2, PushPromisePadBeyondBlockRejected) {
+  // corpus: h2_frame/push_promise_bad_pad.bin.
+  origin::h2::FrameParser parser;
+  auto frames = parser.feed(bytes({0x00, 0x00, 0x06, 0x05, 0x08, 0x00, 0x00,
+                                   0x00, 0x03, 0xff, 0x00, 0x00, 0x00, 0x04,
+                                   0x61}));
+  ASSERT_FALSE(frames.ok());
+}
+
+TEST(FuzzRegressionH2, OriginFrameTruncatedEntryRejected) {
+  // corpus: h2_frame/origin_truncated.bin — entry claims 0xff bytes, has 6.
+  origin::h2::FrameParser parser;
+  Bytes wire = bytes({0x00, 0x00, 0x08, 0x0c, 0x00, 0x00, 0x00, 0x00, 0x00,
+                      0x00, 0xff});
+  for (char c : std::string("https:")) wire.push_back(static_cast<std::uint8_t>(c));
+  auto frames = parser.feed(wire);
+  ASSERT_FALSE(frames.ok());
+  EXPECT_NE(frames.error().message.find("ORIGIN"), std::string::npos);
+}
+
+TEST(FuzzRegressionH2, OriginFrameOnNonzeroStreamIgnoredAsUnknown) {
+  // RFC 8336 §2.1: MUST be ignored, not a connection error.
+  origin::h2::FrameParser parser;
+  Bytes wire = bytes({0x00, 0x00, 0x06, 0x0c, 0x00, 0x00, 0x00, 0x00, 0x03,
+                      0x00, 0x04});
+  for (char c : std::string("http")) wire.push_back(static_cast<std::uint8_t>(c));
+  auto frames = parser.feed(wire);
+  ASSERT_TRUE(frames.ok());
+  ASSERT_EQ(frames->size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<origin::h2::UnknownFrame>((*frames)[0]));
+}
+
+TEST(FuzzRegressionH2, SettingsLengthNotMultipleOfSixRejected) {
+  origin::h2::FrameParser parser;
+  auto frames = parser.feed(bytes({0x00, 0x00, 0x05, 0x04, 0x00, 0x00, 0x00,
+                                   0x00, 0x00, 0x01, 0x02, 0x03, 0x04, 0x05}));
+  ASSERT_FALSE(frames.ok());
+}
+
+TEST(FuzzRegressionH2, WindowUpdateZeroIncrementRejected) {
+  origin::h2::FrameParser parser;
+  auto frames = parser.feed(bytes({0x00, 0x00, 0x04, 0x08, 0x00, 0x00, 0x00,
+                                   0x00, 0x01, 0x00, 0x00, 0x00, 0x00}));
+  ASSERT_FALSE(frames.ok());
+}
+
+// --- HPACK ---------------------------------------------------------------
+
+TEST(FuzzRegressionHpack, IndexZeroRejected) {
+  origin::hpack::Decoder decoder;
+  auto headers = decoder.decode(bytes({0x80}));
+  ASSERT_FALSE(headers.ok());
+}
+
+TEST(FuzzRegressionHpack, IndexOutOfRangeRejected) {
+  // corpus: hpack/index_out_of_range.bin — index 190, static table has 61.
+  origin::hpack::Decoder decoder;
+  auto headers = decoder.decode(bytes({0xbf, 0x7f}));
+  ASSERT_FALSE(headers.ok());
+}
+
+TEST(FuzzRegressionHpack, TruncatedIntegerRejected) {
+  origin::hpack::Decoder decoder;
+  auto headers = decoder.decode(bytes({0xff, 0xff, 0xff}));
+  ASSERT_FALSE(headers.ok());
+}
+
+TEST(FuzzRegressionHpack, IntegerOverflowRejected) {
+  // corpus: hpack/integer_overflow.bin — 11 continuation octets.
+  origin::hpack::Decoder decoder;
+  auto headers = decoder.decode(bytes({0x7f, 0xff, 0xff, 0xff, 0xff, 0xff,
+                                       0xff, 0xff, 0xff, 0xff, 0xff, 0x01}));
+  ASSERT_FALSE(headers.ok());
+}
+
+TEST(FuzzRegressionHpack, HuffmanEosRejected) {
+  // corpus: hpack/huffman_eos.bin — EOS code inside a huffman string.
+  origin::hpack::Decoder decoder;
+  auto headers =
+      decoder.decode(bytes({0x40, 0x01, 'a', 0x84, 0xff, 0xff, 0xff, 0xff}));
+  ASSERT_FALSE(headers.ok());
+}
+
+TEST(FuzzRegressionHpack, TruncatedStringRejected) {
+  origin::hpack::Decoder decoder;
+  auto headers = decoder.decode(bytes({0x40, 0x05, 'a', 'b'}));
+  ASSERT_FALSE(headers.ok());
+}
+
+TEST(FuzzRegressionHpack, TableSizeUpdateAboveCeilingRejected) {
+  // corpus: hpack/table_size_above_ceiling.bin — update to 8192, ceiling 4096.
+  origin::hpack::Decoder decoder;
+  auto headers = decoder.decode(bytes({0x3f, 0xe1, 0x3f}));
+  ASSERT_FALSE(headers.ok());
+}
+
+TEST(FuzzRegressionHpack, TableSizeUpdateAfterFieldRejected) {
+  origin::hpack::Decoder decoder;
+  auto headers = decoder.decode(bytes({0x82, 0x20}));
+  ASSERT_FALSE(headers.ok());
+}
+
+// --- HAR JSON ------------------------------------------------------------
+
+TEST(FuzzRegressionHar, WrongTypedFieldsRejectedNotThrown) {
+  // corpus: har_json/wrong_types.har — page id is a number, entries a string.
+  auto load = origin::web::from_har_string(
+      R"({"log":{"pages":[{"id":5}],"entries":"nope"}})");
+  ASSERT_FALSE(load.ok());
+}
+
+TEST(FuzzRegressionHar, EntryMissingUrlRejected) {
+  auto load = origin::web::from_har_string(
+      R"({"log":{"pages":[{"id":"x"}],"entries":[{"_origin":{}}]}})");
+  ASSERT_FALSE(load.ok());
+  EXPECT_NE(load.error().message.find("request.url"), std::string::npos);
+}
+
+TEST(FuzzRegressionHar, UrlWithoutSchemeRejected) {
+  auto load = origin::web::from_har_string(
+      R"({"log":{"pages":[{"id":"x"}],)"
+      R"("entries":[{"request":{"url":"no-scheme"},"_origin":{},)"
+      R"("response":{},"timings":{}}]}})");
+  ASSERT_FALSE(load.ok());
+}
+
+TEST(FuzzRegressionHar, HugeNumbersClampedNotUndefined) {
+  // corpus: har_json/huge_numbers.har — 1e308 ms startedDateTime must not
+  // trip the double→int64 conversion (UB before clamp_to_int64).
+  auto load = origin::web::from_har_string(
+      R"({"log":{"pages":[{"id":"x","_trancoRank":1e308}],)"
+      R"("entries":[{"request":{"url":"https://h/"},"_origin":{},)"
+      R"("startedDateTime":1e308,"response":{},"timings":{}}]}})");
+  ASSERT_TRUE(load.ok()) << load.error().message;
+  ASSERT_EQ(load->entries.size(), 1u);
+}
+
+TEST(FuzzRegressionHar, NestingBeyondDepthLimitRejected) {
+  std::string deep(200, '[');
+  deep.append(200, ']');
+  auto doc = origin::util::Json::parse(deep);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.error().message.find("depth"), std::string::npos);
+}
+
+TEST(FuzzRegressionHar, BadUnicodeEscapeRejected) {
+  auto doc = origin::util::Json::parse(R"({"s":"bad \u00zz escape"})");
+  ASSERT_FALSE(doc.ok());
+}
+
+TEST(FuzzRegressionHar, UnterminatedStringRejected) {
+  auto doc = origin::util::Json::parse(R"({"s":"unterminated)");
+  ASSERT_FALSE(doc.ok());
+}
+
+TEST(FuzzRegressionHar, ClampToInt64Saturates) {
+  EXPECT_EQ(origin::util::clamp_to_int64(1e308),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(origin::util::clamp_to_int64(-1e308),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(origin::util::clamp_to_int64(std::nan("")), 0);
+  EXPECT_EQ(origin::util::clamp_to_int64(12345.0), 12345);
+}
+
+}  // namespace

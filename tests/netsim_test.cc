@@ -243,7 +243,10 @@ struct H2OverNet {
       server_end = std::make_shared<TcpEndpoint>(endpoint);
       attach(server_conn, server_end);
       h2::ConnectionCallbacks callbacks;
-      auto conn = server_conn;
+      // The callback is stored inside *server_conn, so capturing the
+      // shared_ptr would make the connection own itself (leak cycle);
+      // the raw pointer is valid for exactly the callback's lifetime.
+      h2::Connection* conn = server_conn.get();
       auto end = server_end;
       callbacks.on_headers = [conn, end](std::uint32_t stream,
                                          const hpack::HeaderList&, bool) {

@@ -1,0 +1,220 @@
+// origin_lint — repo-specific invariant linter for the parser layers.
+//
+// Walks the source tree given on the command line (default: src/) and
+// enforces invariants that the compiler alone does not:
+//
+//   no-bare-assert        `assert(` and <cassert> are forbidden in src/.
+//                         NDEBUG strips assert from RelWithDebInfo — the
+//                         default build — so its checks never run where it
+//                         matters. Use ORIGIN_CHECK (util/check.h), which
+//                         stays active in every build type.
+//
+//   no-reinterpret-cast   Raw reinterpret_cast is forbidden; parser code
+//                         views bytes as text through the single audited
+//                         helper util::as_string_view.
+//
+//   nodiscard-parse-api   Every header declaration returning util::Result
+//                         or util::Status must carry [[nodiscard]]: a
+//                         dropped return value silently swallows the error
+//                         path of a parse (the §6.7 failure mode).
+//
+//   no-c-style-int-cast   C-style integer casts like (uint8_t)x are
+//                         forbidden in parser directories; narrowing must
+//                         be a searchable, explicit static_cast.
+//
+//   nodiscard-result-type util/result.h itself must keep Result and Status
+//                         declared [[nodiscard]] (the class-level attribute
+//                         is what makes the compiler flag silent drops).
+//
+// A violation can be waived for one line with a trailing
+// `// lint:allow(<rule>)` comment; every waiver is an audited exception.
+//
+// Exit status: 0 when clean, 1 when any violation is reported, 2 on usage
+// or I/O errors.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Violation {
+  std::string file;
+  std::size_t line;
+  std::string rule;
+  std::string message;
+};
+
+// Directories (relative to the lint root) holding hand-rolled parsers; the
+// narrowing-cast rule applies only here, the rest of the rules repo-wide.
+const char* kParserDirs[] = {"h2", "hpack", "web", "h1", "util"};
+
+bool in_parser_dir(const std::filesystem::path& rel) {
+  const std::string first = rel.begin() != rel.end() ? rel.begin()->string() : "";
+  return std::any_of(std::begin(kParserDirs), std::end(kParserDirs),
+                     [&](const char* dir) { return first == dir; });
+}
+
+bool allows(const std::string& line, const std::string& rule) {
+  return line.find("lint:allow(" + rule + ")") != std::string::npos;
+}
+
+std::string trimmed(const std::string& line) {
+  const auto begin = line.find_first_not_of(" \t");
+  return begin == std::string::npos ? "" : line.substr(begin);
+}
+
+bool is_comment_line(const std::string& line) {
+  const std::string t = trimmed(line);
+  return t.rfind("//", 0) == 0 || t.rfind("*", 0) == 0 || t.rfind("/*", 0) == 0;
+}
+
+class Linter {
+ public:
+  void lint_file(const std::filesystem::path& path,
+                 const std::filesystem::path& rel) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "lint: cannot read %s\n", path.c_str());
+      io_error_ = true;
+      return;
+    }
+    const bool header = path.extension() == ".h";
+    const bool parser_dir = in_parser_dir(rel);
+    const bool is_result_header = rel == std::filesystem::path("util/result.h");
+    const bool is_check_header = rel == std::filesystem::path("util/check.h");
+
+    static const std::regex bare_assert(R"((^|[^_\w])assert\s*\()");
+    static const std::regex cassert_include(R"(#\s*include\s*<cassert>)");
+    static const std::regex reinterpret(R"(reinterpret_cast)");
+    static const std::regex result_decl(
+        R"(^\s*(\[\[nodiscard\]\]\s*)?(static\s+)?(virtual\s+)?((origin::)?util::)?(Result<|Status\s+[A-Za-z_]))");
+    static const std::regex c_int_cast(
+        R"(\(\s*(std::)?u?int(8|16|32|64)_t\s*\)\s*[\w(])");
+
+    bool saw_nodiscard_result = false;
+    bool saw_nodiscard_status = false;
+
+    std::string line;
+    std::string previous;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      const bool comment = is_comment_line(line);
+
+      if (!comment && !is_check_header && !allows(line, "no-bare-assert") &&
+          line.find("static_assert") == std::string::npos &&
+          (std::regex_search(line, bare_assert) ||
+           std::regex_search(line, cassert_include))) {
+        report(rel, lineno, "no-bare-assert",
+               "use ORIGIN_CHECK from util/check.h; assert is stripped from "
+               "RelWithDebInfo builds");
+      }
+
+      if (!comment && !allows(line, "no-reinterpret-cast") &&
+          std::regex_search(line, reinterpret)) {
+        report(rel, lineno, "no-reinterpret-cast",
+               "view bytes as text via util::as_string_view instead of a raw "
+               "reinterpret_cast");
+      }
+
+      if (header && !comment && !allows(line, "nodiscard-parse-api")) {
+        std::smatch m;
+        if (std::regex_search(line, m, result_decl) &&
+            line.find("using ") == std::string::npos) {
+          const bool marked = m[1].matched ||
+                              previous.find("[[nodiscard]]") != std::string::npos;
+          if (!marked) {
+            report(rel, lineno, "nodiscard-parse-api",
+                   "declarations returning util::Result/util::Status must be "
+                   "[[nodiscard]]");
+          }
+        }
+      }
+
+      if (parser_dir && !comment && !allows(line, "no-c-style-int-cast") &&
+          std::regex_search(line, c_int_cast)) {
+        report(rel, lineno, "no-c-style-int-cast",
+               "use static_cast for integer narrowing in parser code");
+      }
+
+      if (is_result_header) {
+        if (line.find("class [[nodiscard]] Result") != std::string::npos) {
+          saw_nodiscard_result = true;
+        }
+        if (line.find("class [[nodiscard]] Status") != std::string::npos) {
+          saw_nodiscard_status = true;
+        }
+      }
+
+      previous = line;
+    }
+
+    if (is_result_header && (!saw_nodiscard_result || !saw_nodiscard_status)) {
+      report(rel, 1, "nodiscard-result-type",
+             "util::Result and util::Status must be class-level [[nodiscard]]");
+    }
+  }
+
+  void report(const std::filesystem::path& rel, std::size_t line,
+              std::string rule, std::string message) {
+    violations_.push_back(
+        Violation{rel.string(), line, std::move(rule), std::move(message)});
+  }
+
+  const std::vector<Violation>& violations() const { return violations_; }
+  bool io_error() const { return io_error_; }
+
+ private:
+  std::vector<Violation> violations_;
+  bool io_error_ = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <source-dir>...\n", argv[0]);
+    return 2;
+  }
+
+  Linter linter;
+  std::size_t files = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path root(argv[i]);
+    std::error_code ec;
+    if (!std::filesystem::is_directory(root, ec)) {
+      std::fprintf(stderr, "lint: not a directory: %s\n", argv[i]);
+      return 2;
+    }
+    std::vector<std::filesystem::path> paths;
+    for (const auto& entry :
+         std::filesystem::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension();
+      if (ext != ".h" && ext != ".cc") continue;
+      paths.push_back(entry.path());
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const auto& path : paths) {
+      linter.lint_file(path, std::filesystem::relative(path, root));
+      ++files;
+    }
+  }
+
+  for (const auto& v : linter.violations()) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
+                 v.rule.c_str(), v.message.c_str());
+  }
+  if (linter.io_error()) return 2;
+  if (!linter.violations().empty()) {
+    std::fprintf(stderr, "lint: %zu violation(s) in %zu file(s) scanned\n",
+                 linter.violations().size(), files);
+    return 1;
+  }
+  std::printf("lint: %zu file(s) clean\n", files);
+  return 0;
+}
