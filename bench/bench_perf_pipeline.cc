@@ -1,0 +1,142 @@
+// Pipeline scaling bench: wall-clock for the sharded corpus pipeline
+// (generate -> load -> model) at 1/2/4/8 worker threads.
+//
+// Emits BENCH_pipeline.json in the working directory with per-stage times,
+// speedups relative to the serial fallback, and a digest of the serialized
+// HAR stream per run — the digest must be identical across thread counts
+// (the determinism contract; also enforced bitwise by
+// pipeline_determinism_test). Wall-clock speedups are only meaningful on a
+// multi-core host; on one core the interesting column is the digest.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "model/coalescing_model.h"
+#include "util/fnv.h"
+#include "web/har_json.h"
+
+namespace {
+
+struct RunResult {
+  std::size_t threads = 1;
+  double generate_ms = 0;
+  double load_ms = 0;
+  double model_ms = 0;
+  std::uint64_t har_digest = 0;
+  std::size_t pages = 0;
+  double total_ms() const { return generate_ms + load_ms + model_ms; }
+};
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+RunResult run_once(const origin::bench::Args& args, std::size_t threads,
+                   std::size_t max_pages) {
+  using namespace origin;
+  RunResult result;
+  result.threads = threads;
+
+  auto t0 = std::chrono::steady_clock::now();
+  dataset::CorpusOptions corpus_options;
+  corpus_options.site_count = args.sites;
+  corpus_options.seed = args.seed;
+  corpus_options.threads = threads;
+  dataset::Corpus corpus(corpus_options);
+  result.generate_ms = ms_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  auto collect_options = bench::chrome_collect_options();
+  collect_options.threads = threads;
+  collect_options.max_sites = max_pages;
+  std::vector<web::PageLoad> loads;
+  std::uint64_t digest = origin::util::fnv1a64("pipeline");
+  dataset::collect(corpus, collect_options,
+                   [&](const dataset::SiteInfo&, const web::PageLoad& load) {
+                     digest = origin::util::fnv1a64(web::to_har_string(load),
+                                                    digest);
+                     loads.push_back(load);
+                   });
+  result.load_ms = ms_since(t0);
+  result.har_digest = digest;
+  result.pages = loads.size();
+
+  t0 = std::chrono::steady_clock::now();
+  model::CoalescingModel model(corpus.env());
+  auto analyses = model.analyze_batch(loads, threads);
+  auto reconstructed = model.reconstruct_batch(loads, analyses, "", threads);
+  (void)reconstructed;
+  result.model_ms = ms_since(t0);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace origin;
+  auto args = bench::Args::parse(argc, argv);
+  bench::print_header(
+      "Pipeline scaling: generate -> load -> model at 1/2/4/8 threads",
+      "engineering bench (no paper figure); determinism contract of the "
+      "sharded pipeline",
+      args);
+
+  // Bound the loaded-page count so the model stage's in-memory HAR set stays
+  // small at large --sites values; scaling behaviour is unaffected.
+  const std::size_t max_pages = 4'000;
+
+  std::vector<RunResult> runs;
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    runs.push_back(run_once(args, threads, max_pages));
+    const RunResult& r = runs.back();
+    std::printf(
+        "threads=%zu  generate=%8.1fms  load=%8.1fms  model=%8.1fms  "
+        "total=%8.1fms  speedup=%.2fx  digest=%016llx\n",
+        r.threads, r.generate_ms, r.load_ms, r.model_ms, r.total_ms(),
+        runs.front().total_ms() / r.total_ms(),
+        static_cast<unsigned long long>(r.har_digest));
+  }
+
+  bool deterministic = true;
+  for (const auto& r : runs) {
+    if (r.har_digest != runs.front().har_digest ||
+        r.pages != runs.front().pages) {
+      deterministic = false;
+    }
+  }
+  std::printf("\nHAR digest identical across thread counts: %s\n",
+              deterministic ? "yes" : "NO — DETERMINISM VIOLATION");
+
+  std::FILE* out = std::fopen("BENCH_pipeline.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_pipeline.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"pipeline\",\n");
+  std::fprintf(out, "  \"sites\": %zu,\n", args.sites);
+  std::fprintf(out, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(args.seed));
+  std::fprintf(out, "  \"pages\": %zu,\n", runs.front().pages);
+  std::fprintf(out, "  \"deterministic\": %s,\n",
+               deterministic ? "true" : "false");
+  std::fprintf(out, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    std::fprintf(out,
+                 "    {\"threads\": %zu, \"generate_ms\": %.3f, "
+                 "\"load_ms\": %.3f, \"model_ms\": %.3f, \"total_ms\": %.3f, "
+                 "\"speedup_vs_serial\": %.3f, \"har_digest\": \"%016llx\"}%s\n",
+                 r.threads, r.generate_ms, r.load_ms, r.model_ms, r.total_ms(),
+                 runs.front().total_ms() / r.total_ms(),
+                 static_cast<unsigned long long>(r.har_digest),
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_pipeline.json\n");
+  return deterministic ? 0 : 1;
+}

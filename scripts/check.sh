@@ -8,6 +8,9 @@
 #      (advisory skip otherwise — the pinned CI image is gcc-only)
 #   3. ASan preset build + full ctest
 #   4. UBSan preset build + full ctest
+#   5. TSan preset build + the concurrency suites (thread pool stress +
+#      pipeline determinism) with ORIGIN_THREADS=8, so every shard path runs
+#      contended under the race detector
 #
 # Usage: scripts/check.sh [--quick]
 #   --quick   tier-1 + lint only; skip the sanitizer rebuilds.
@@ -25,10 +28,10 @@ run_suite() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
-echo "==> [1/4] tier-1 build + ctest (lint + fuzz replays included)"
+echo "==> [1/5] tier-1 build + ctest (lint + fuzz replays included)"
 run_suite build
 
-echo "==> [2/4] clang-tidy (parser directories)"
+echo "==> [2/5] clang-tidy (parser directories)"
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   git ls-files 'src/h2/*.cc' 'src/hpack/*.cc' 'src/web/*.cc' 'src/util/*.cc' |
@@ -42,10 +45,16 @@ if [[ "$QUICK" == "1" ]]; then
   exit 0
 fi
 
-echo "==> [3/4] AddressSanitizer preset"
+echo "==> [3/5] AddressSanitizer preset"
 run_suite build-asan -DORIGIN_SANITIZE=address
 
-echo "==> [4/4] UndefinedBehaviorSanitizer preset"
+echo "==> [4/5] UndefinedBehaviorSanitizer preset"
 run_suite build-ubsan -DORIGIN_SANITIZE=undefined
+
+echo "==> [5/5] ThreadSanitizer preset (concurrency suites, 8 threads)"
+cmake -B build-tsan -S . -DORIGIN_SANITIZE=thread
+cmake --build build-tsan -j "$JOBS"
+ORIGIN_THREADS=8 ctest --test-dir build-tsan --output-on-failure \
+  -R 'ThreadPool|PipelineDeterminism'
 
 echo "==> all checks passed"

@@ -34,7 +34,8 @@ PageLoader::PageLoader(Environment& env, LoaderOptions options)
     : env_(env),
       options_(std::move(options)),
       policy_(make_policy(options_.policy)),
-      rng_(options_.seed) {
+      rng_(options_.seed),
+      next_connection_id_(options_.first_connection_id) {
   if (policy_ == nullptr) policy_ = std::make_unique<ChromiumIpPolicy>();
 }
 

@@ -42,6 +42,11 @@ struct LoaderOptions {
   // coalescing decision, e.g. resource moved off the socket).
   double misdirected_rate = 0.0;
   std::uint64_t seed = 1;
+  // First connection id this loader hands out. Sharded collection gives
+  // every site's loader a disjoint id block so connection ids stay globally
+  // unique (the passive pipeline dedups on them) AND identical to the
+  // serial run — ids must never depend on which worker loaded a page first.
+  std::uint64_t first_connection_id = 1;
   // New browser session per page (paper method): fresh DNS cache, empty
   // connection pool.
   bool fresh_session = true;
@@ -77,7 +82,7 @@ class PageLoader {
   std::unique_ptr<CoalescingPolicy> policy_;
   origin::util::Rng rng_;
   RaceStats race_stats_;
-  std::uint64_t next_connection_id_ = 1;
+  std::uint64_t next_connection_id_;
 };
 
 }  // namespace origin::browser

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/fnv.h"
+#include "util/thread_pool.h"
 
 namespace origin::cdn {
 
@@ -259,8 +261,15 @@ Deployment::PassiveResult Deployment::run_passive_longitudinal(
   browser::LoaderOptions loader_options;
   loader_options.policy = policy;
   loader_options.seed = rng_.next();
-  browser::PageLoader loader(corpus_.env(), loader_options);
   origin::util::Rng churn_rng(rng_.next());
+
+  // Each visit's loader hands out connection ids from its own disjoint
+  // block: the pipeline dedups on connection id across the whole run, so
+  // ids must be globally unique and independent of worker scheduling.
+  constexpr std::uint64_t kConnectionIdStride = 1ull << 20;
+  std::uint64_t global_visit = 0;
+
+  origin::util::ThreadPool pool(options_.threads);
 
   bool deployed = false;
   for (std::uint64_t day = 0; day < days; ++day) {
@@ -272,28 +281,62 @@ Deployment::PassiveResult Deployment::run_passive_longitudinal(
       undo_origin_frames();
       deployed = false;
     }
-    // A rotating slice of the sample gets traffic each day.
-    auto visit_group = [&](const std::vector<std::size_t>& sites,
-                           measure::Treatment treatment) {
+    // Serial prepass: decide the day's visit plan — site rotation and churn
+    // draws — in the exact order the serial loop makes them. The
+    // environment is then read-only for the parallel loads (DNS toggles
+    // only happen between days, above).
+    struct Visit {
+      std::size_t site = 0;
+      measure::Treatment treatment = measure::Treatment::kControl;
+      bool churned = false;
+      std::uint64_t visit_index = 0;
+    };
+    std::vector<Visit> plan;
+    auto plan_group = [&](const std::vector<std::size_t>& sites,
+                          measure::Treatment treatment) {
       if (sites.empty()) return;
       for (std::size_t v = 0; v < loads_per_day; ++v) {
-        const std::size_t site =
-            sites[(day * loads_per_day + v) % sites.size()];
-        web::Webpage page = corpus_.page_for_site(site);
-        // Same resource-churn model as the active measurement.
-        if (churn_rng.bernoulli(options_.visit_churn)) {
-          for (auto& resource : page.resources) {
-            if (resource.hostname == options_.third_party) {
-              resource.hostname = page.base_hostname;
-            }
-          }
-        }
-        web::PageLoad load = loader.load(page);
-        result.pipeline.observe(load, options_.third_party, treatment, day);
+        Visit visit;
+        visit.site = sites[(day * loads_per_day + v) % sites.size()];
+        visit.treatment = treatment;
+        visit.churned = churn_rng.bernoulli(options_.visit_churn);
+        visit.visit_index = global_visit++;
+        plan.push_back(visit);
       }
     };
-    visit_group(experiment_sites_, measure::Treatment::kExperiment);
-    visit_group(control_sites_, measure::Treatment::kControl);
+    plan_group(experiment_sites_, measure::Treatment::kExperiment);
+    plan_group(control_sites_, measure::Treatment::kControl);
+
+    // Parallel page loads, one loader per visit.
+    std::vector<web::PageLoad> loads(plan.size());
+    pool.parallel_for_index(plan.size(), [&](std::size_t k) {
+      const Visit& visit = plan[k];
+      web::Webpage page = corpus_.page_for_site(visit.site);
+      // Same resource-churn model as the active measurement.
+      if (visit.churned) {
+        for (auto& resource : page.resources) {
+          if (resource.hostname == options_.third_party) {
+            resource.hostname = page.base_hostname;
+          }
+        }
+      }
+      browser::LoaderOptions visit_options = loader_options;
+      visit_options.seed = origin::util::fnv1a64_mix(loader_options.seed,
+                                                     visit.visit_index);
+      visit_options.first_connection_id =
+          1 + visit.visit_index * kConnectionIdStride;
+      browser::PageLoader loader(corpus_.env(), visit_options);
+      loads[k] = loader.load(page);
+    });
+
+    // Serial aggregation in visit order.
+    std::vector<measure::PassivePipeline::Observation> observations;
+    observations.reserve(plan.size());
+    for (std::size_t k = 0; k < plan.size(); ++k) {
+      observations.push_back({&loads[k], plan[k].treatment, day});
+    }
+    result.pipeline.observe_batch(observations, options_.third_party,
+                                  options_.threads);
   }
   if (deployed) undo_origin_frames();
   return result;

@@ -37,6 +37,13 @@ struct DeploymentOptions {
   // (the resource churn §5.3 blames for lower-than-expected coalescing).
   double visit_churn = 0.08;
   std::uint64_t seed = 0xDEB10;
+  // Worker threads for the longitudinal passive run's page loads. 0
+  // resolves via ORIGIN_THREADS / hardware concurrency; 1 is the serial
+  // fallback. Results are bit-identical at any thread count: churn draws
+  // happen in a serial per-day prepass, every visit gets its own loader
+  // (seed and connection-id block derived from the global visit index), and
+  // observation stays in visit order.
+  std::size_t threads = 1;
 };
 
 class Deployment {

@@ -1,21 +1,55 @@
 #include "dataset/collector.h"
 
+#include <algorithm>
+#include <vector>
+
+#include "util/fnv.h"
+#include "util/thread_pool.h"
+
 namespace origin::dataset {
+
+namespace {
+// Each site's loader hands out connection ids from its own disjoint block so
+// ids stay globally unique and independent of worker scheduling. 2^20 ids per
+// site is far beyond any single page's connection count.
+constexpr std::uint64_t kConnectionIdStride = 1ull << 20;
+}  // namespace
 
 std::size_t collect(Corpus& corpus, const CollectOptions& options,
                     const PageSink& sink) {
-  browser::PageLoader loader(corpus.env(), options.loader);
-  std::size_t loaded = 0;
+  // The work list is decided up front from corpus state alone, so it is
+  // identical at any thread count.
+  std::vector<std::size_t> eligible;
   for (std::size_t i = 0; i < corpus.sites().size(); ++i) {
-    const SiteInfo& site = corpus.sites()[i];
-    if (!site.crawl_succeeded) continue;
-    if (options.max_sites != 0 && loaded >= options.max_sites) break;
-    web::Webpage page = corpus.page_for_site(i);
-    web::PageLoad load = loader.load(page);
-    sink(site, load);
-    ++loaded;
+    if (!corpus.sites()[i].crawl_succeeded) continue;
+    if (options.max_sites != 0 && eligible.size() >= options.max_sites) break;
+    eligible.push_back(i);
   }
-  return loaded;
+
+  origin::util::ThreadPool pool(options.threads);
+  // Windowed batches keep memory bounded at corpus scale: only one window of
+  // PageLoads is ever held, and the sink observes sites in index order.
+  const std::size_t window = std::max<std::size_t>(pool.thread_count() * 8, 1);
+  std::vector<web::PageLoad> loads;
+  for (std::size_t begin = 0; begin < eligible.size(); begin += window) {
+    const std::size_t count = std::min(window, eligible.size() - begin);
+    loads.assign(count, web::PageLoad{});
+    pool.parallel_for_index(count, [&](std::size_t k) {
+      const std::size_t site_index = eligible[begin + k];
+      browser::LoaderOptions site_options = options.loader;
+      site_options.seed = origin::util::fnv1a64_mix(
+          options.loader.seed, static_cast<std::uint64_t>(site_index));
+      site_options.first_connection_id =
+          options.loader.first_connection_id +
+          static_cast<std::uint64_t>(site_index) * kConnectionIdStride;
+      browser::PageLoader loader(corpus.env(), site_options);
+      loads[k] = loader.load(corpus.page_for_site(site_index));
+    });
+    for (std::size_t k = 0; k < count; ++k) {
+      sink(corpus.sites()[eligible[begin + k]], loads[k]);
+    }
+  }
+  return eligible.size();
 }
 
 }  // namespace origin::dataset

@@ -17,6 +17,12 @@ struct CollectOptions {
   browser::LoaderOptions loader;  // policy defaults to chromium-ip
   // Load at most this many (successful) sites; 0 = all.
   std::size_t max_sites = 0;
+  // Worker threads for page loading. 0 resolves via ORIGIN_THREADS /
+  // hardware concurrency; 1 is the serial fallback. Output is bit-identical
+  // at any thread count: every site gets its own loader (seed mixed from the
+  // base seed and the site index, connection ids from a disjoint per-site
+  // block) and the sink always runs serially in site-index order.
+  std::size_t threads = 1;
 };
 
 using PageSink =

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <set>
+
+#include "util/thread_pool.h"
 
 namespace origin::dataset {
 
@@ -202,159 +205,190 @@ void Corpus::build_tail_services() {
 
 void Corpus::build_sites() {
   Rng rng = rng_.fork(0x90903);
-  std::vector<double> hosting_weights;
+  SiteWeights weights;
   for (const auto& provider : providers()) {
-    hosting_weights.push_back(provider.hosting_share);
+    weights.hosting.push_back(provider.hosting_share);
   }
-  std::vector<double> popular_weights;
   for (const auto& dest : popular_destinations_) {
-    popular_weights.push_back(dest.weight);
+    weights.popular.push_back(dest.weight);
   }
-  std::vector<double> tail_weights;
   for (const auto& dest : tail_destinations_) {
-    tail_weights.push_back(dest.weight);
+    weights.tail.push_back(dest.weight);
   }
 
-  sites_.reserve(options_.site_count);
-  for (std::size_t i = 0; i < options_.site_count; ++i) {
-    Rng site_rng = rng.fork(i);
-    SiteInfo site;
-    site.rank = 1 + (static_cast<std::uint64_t>(i) * kTrancoRange) /
-                        std::max<std::size_t>(options_.site_count, 1);
-    site.domain = "site" + std::to_string(i) + ".example-" +
-                  std::to_string(i % 7) + ".com";
-    site.page_seed = site_rng.next();
-    const auto& bucket = bucket_for_rank(site.rank);
-    site.crawl_succeeded = site_rng.bernoulli(bucket.success_rate);
+  const std::size_t n = options_.site_count;
 
-    // Certificate shape is sampled first: SAN-less (CN-only) certificates
-    // belong to small self-contained deployments — in the paper 99.98% of
-    // them needed no changes because they serve everything themselves.
-    const std::size_t target = sample_san_count(site_rng);
+  // Phase 1 (serial): hoist per-site RNGs into an immutable prepass.
+  // Rng::fork advances the parent stream, so the forks must happen here, in
+  // index order — never inside the parallel region, where completion order
+  // would perturb every downstream draw.
+  std::vector<Rng> site_rngs;
+  site_rngs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) site_rngs.push_back(rng.fork(i));
 
-    const auto& provider =
-        target == 0 ? providers().back()  // Long Tail Hosting
-                    : providers()[site_rng.weighted(hosting_weights)];
-    site.provider = provider.organization;
+  // Phase 2 (parallel): sample every site from its own RNG copy. draft_site
+  // is const and touches no shared mutable state, so any thread interleaving
+  // produces the same drafts.
+  std::vector<SiteDraft> drafts(n);
+  origin::util::ThreadPool pool(options_.threads);
+  pool.parallel_for_index(n, [&](std::size_t i) {
+    drafts[i] = draft_site(i, site_rngs[i], weights);
+  });
 
-    // Shards: sharded deployment is the HTTP/1.1 legacy the paper studies.
-    const std::size_t shard_count = target == 0 ? 0 : site_rng.uniform(5);
-    for (std::size_t s = 0; s < shard_count; ++s) {
-      site.shard_hostnames.push_back(std::string(kShardLabels[s]) + "." +
-                                     site.domain);
-    }
-    // A small population shards aggressively across a sibling CDN domain
-    // (image/asset farms). A wildcard on the main domain cannot cover
-    // these, so they are the paper's ~1% of sites needing >78 additions.
-    if (target != 0 && site_rng.bernoulli(0.025)) {
-      const std::size_t farm = 25 + site_rng.uniform(160);
-      const std::string farm_domain =
-          "site" + std::to_string(i) + "-cdn.example.net";
-      for (std::size_t s = 0; s < farm; ++s) {
-        site.shard_hostnames.push_back("s" + std::to_string(s) + "." +
-                                       farm_domain);
-      }
-    }
+  // Phase 3 (serial): materialize in index order. Certificate issuance
+  // consumes per-CA serial counters and service registration appends to the
+  // environment, so ordering here is what keeps the corpus bit-identical to
+  // the serial build.
+  sites_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) materialize_site(std::move(drafts[i]));
+}
 
-    // Third-party destination set (drives Figure 1's unique-AS shape).
-    std::size_t third_party_count;
-    const double mix = target == 0 ? 0.0 : site_rng.uniform_double();
-    if (mix < 0.065) {
-      third_party_count = 0;  // fully self-contained page
-    } else if (mix < 0.205) {
-      third_party_count = 1;
-    } else {
-      third_party_count = static_cast<std::size_t>(std::clamp(
-          site_rng.lognormal(std::log(options_.third_party_services_median),
-                             options_.third_party_services_sigma),
-          2.0, 80.0));
-    }
-    std::set<std::string> chosen;
-    while (chosen.size() < third_party_count &&
-           chosen.size() <
-               popular_destinations_.size() + tail_destinations_.size()) {
-      const bool popular = site_rng.bernoulli(0.72);
-      const Destination& dest =
-          popular
-              ? popular_destinations_[site_rng.weighted(popular_weights)]
-              : tail_destinations_[site_rng.weighted(tail_weights)];
-      if (chosen.insert(dest.hostname).second) {
-        site.third_party_hosts.push_back(dest.hostname);
-      }
-    }
+Corpus::SiteDraft Corpus::draft_site(std::size_t i, Rng site_rng,
+                                     const SiteWeights& weights) const {
+  SiteDraft draft;
+  SiteInfo& site = draft.site;
+  site.rank = 1 + (static_cast<std::uint64_t>(i) * kTrancoRange) /
+                  std::max<std::size_t>(options_.site_count, 1);
+  site.domain = "site" + std::to_string(i) + ".example-" +
+                std::to_string(i % 7) + ".com";
+  site.page_seed = site_rng.next();
+  const auto& bucket = bucket_for_rank(site.rank);
+  site.crawl_succeeded = site_rng.bernoulli(bucket.success_rate);
 
-    // The site's own service.
-    Service service;
-    service.name = "site:" + site.domain;
-    service.provider = provider.organization;
-    std::vector<std::string> hostnames = {site.domain};
-    for (const auto& shard : site.shard_hostnames) hostnames.push_back(shard);
-    if (provider.asn != 0) {
-      service.asn = provider.asn;
-      const auto& pool = provider_pools_[provider.organization];
-      const std::size_t offset = site_rng.uniform(pool.size());
-      for (std::size_t j = 0; j < 5; ++j) {
-        service.addresses.push_back(pool[(offset + j) % pool.size()]);
-      }
-      service.link = cdn_link(site_rng);
-    } else {
-      service.asn = 40'000 + static_cast<std::uint32_t>(i % 13'000);
-      service.addresses.push_back(
-          IpAddress::v4(0xD000'0000 + static_cast<std::uint32_t>(i)));
-      service.addresses.push_back(
-          IpAddress::v4(0xD800'0000 + static_cast<std::uint32_t>(i)));
-      service.link = tail_link(site_rng);
-    }
-    service.served_hostnames = {hostnames.begin(), hostnames.end()};
-    service.server_think_ms = 15.0 + site_rng.uniform_double() * 110.0;
+  // Certificate shape is sampled first: SAN-less (CN-only) certificates
+  // belong to small self-contained deployments — in the paper 99.98% of
+  // them needed no changes because they serve everything themselves.
+  const std::size_t target = sample_san_count(site_rng);
 
-    // Certificate: SAN list built to the sampled target size.
-    std::vector<std::string> sans;
-    const bool wildcard =
-        target >= 2 && site_rng.bernoulli(options_.wildcard_probability);
-    if (target >= 1) sans.push_back(site.domain);
-    if (target >= 2) {
-      sans.push_back(wildcard ? "*." + site.domain : "www." + site.domain);
-    }
-    if (!wildcard) {
-      for (const auto& shard : site.shard_hostnames) {
-        if (sans.size() >= target) break;
-        sans.push_back(shard);
-      }
-    }
-    // Filler: unrelated customer names on shared certificates (the long
-    // SAN lists the paper observes on CDN certs).
-    std::size_t filler = 0;
-    while (sans.size() < target) {
-      sans.push_back("customer" + std::to_string(filler++) + "-site" +
-                     std::to_string(i) + ".shared-pool.example");
-    }
-    // Issuer: the provider's house CA usually; otherwise by Table 4 share.
-    std::string issuer_name = provider.ca_name;
-    if (!site_rng.bernoulli(0.70)) {
-      std::vector<double> issuer_weights;
-      for (const auto& issuer : issuers()) {
-        issuer_weights.push_back(issuer.validation_share);
-      }
-      issuer_name = issuers()[site_rng.weighted(issuer_weights)].name;
-    }
-    auto* ca = env_.find_ca(issuer_name);
-    if (sans.size() > ca->max_san_entries()) {
-      // Only a few CAs issue very large certificates (§6.5).
-      ca = env_.find_ca("Sectigo RSA DV Secure Server CA");
-    }
-    auto cert = ca->issue(site.domain, sans, SimTime::from_micros(0));
-    service.certificate = std::make_shared<tls::Certificate>(
-        cert.ok() ? *cert
-                  : *env_.default_ca().issue(site.domain, {site.domain},
-                                             SimTime::from_micros(0)));
+  const auto& provider =
+      target == 0 ? providers().back()  // Long Tail Hosting
+                  : providers()[site_rng.weighted(weights.hosting)];
+  site.provider = provider.organization;
 
-    Service& added = env_.add_service(std::move(service));
-    (void)added;
-    site_service_index_[site.domain] = env_.services().size() - 1;
-
-    sites_.push_back(std::move(site));
+  // Shards: sharded deployment is the HTTP/1.1 legacy the paper studies.
+  const std::size_t shard_count = target == 0 ? 0 : site_rng.uniform(5);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    site.shard_hostnames.push_back(std::string(kShardLabels[s]) + "." +
+                                   site.domain);
   }
+  // A small population shards aggressively across a sibling CDN domain
+  // (image/asset farms). A wildcard on the main domain cannot cover
+  // these, so they are the paper's ~1% of sites needing >78 additions.
+  if (target != 0 && site_rng.bernoulli(0.025)) {
+    const std::size_t farm = 25 + site_rng.uniform(160);
+    const std::string farm_domain =
+        "site" + std::to_string(i) + "-cdn.example.net";
+    for (std::size_t s = 0; s < farm; ++s) {
+      site.shard_hostnames.push_back("s" + std::to_string(s) + "." +
+                                     farm_domain);
+    }
+  }
+
+  // Third-party destination set (drives Figure 1's unique-AS shape).
+  std::size_t third_party_count;
+  const double mix = target == 0 ? 0.0 : site_rng.uniform_double();
+  if (mix < 0.065) {
+    third_party_count = 0;  // fully self-contained page
+  } else if (mix < 0.205) {
+    third_party_count = 1;
+  } else {
+    third_party_count = static_cast<std::size_t>(std::clamp(
+        site_rng.lognormal(std::log(options_.third_party_services_median),
+                           options_.third_party_services_sigma),
+        2.0, 80.0));
+  }
+  std::set<std::string> chosen;
+  while (chosen.size() < third_party_count &&
+         chosen.size() <
+             popular_destinations_.size() + tail_destinations_.size()) {
+    const bool popular = site_rng.bernoulli(0.72);
+    const Destination& dest =
+        popular
+            ? popular_destinations_[site_rng.weighted(weights.popular)]
+            : tail_destinations_[site_rng.weighted(weights.tail)];
+    if (chosen.insert(dest.hostname).second) {
+      site.third_party_hosts.push_back(dest.hostname);
+    }
+  }
+
+  // The site's own service.
+  Service& service = draft.service;
+  service.name = "site:" + site.domain;
+  service.provider = provider.organization;
+  std::vector<std::string> hostnames = {site.domain};
+  for (const auto& shard : site.shard_hostnames) hostnames.push_back(shard);
+  if (provider.asn != 0) {
+    service.asn = provider.asn;
+    const auto& pool = provider_pools_.at(provider.organization);
+    const std::size_t offset = site_rng.uniform(pool.size());
+    for (std::size_t j = 0; j < 5; ++j) {
+      service.addresses.push_back(pool[(offset + j) % pool.size()]);
+    }
+    service.link = cdn_link(site_rng);
+  } else {
+    service.asn = 40'000 + static_cast<std::uint32_t>(i % 13'000);
+    service.addresses.push_back(
+        IpAddress::v4(0xD000'0000 + static_cast<std::uint32_t>(i)));
+    service.addresses.push_back(
+        IpAddress::v4(0xD800'0000 + static_cast<std::uint32_t>(i)));
+    service.link = tail_link(site_rng);
+  }
+  service.served_hostnames = {hostnames.begin(), hostnames.end()};
+  service.server_think_ms = 15.0 + site_rng.uniform_double() * 110.0;
+
+  // Certificate: SAN list built to the sampled target size.
+  std::vector<std::string>& sans = draft.sans;
+  const bool wildcard =
+      target >= 2 && site_rng.bernoulli(options_.wildcard_probability);
+  if (target >= 1) sans.push_back(site.domain);
+  if (target >= 2) {
+    sans.push_back(wildcard ? "*." + site.domain : "www." + site.domain);
+  }
+  if (!wildcard) {
+    for (const auto& shard : site.shard_hostnames) {
+      if (sans.size() >= target) break;
+      sans.push_back(shard);
+    }
+  }
+  // Filler: unrelated customer names on shared certificates (the long
+  // SAN lists the paper observes on CDN certs).
+  std::size_t filler = 0;
+  while (sans.size() < target) {
+    sans.push_back("customer" + std::to_string(filler++) + "-site" +
+                   std::to_string(i) + ".shared-pool.example");
+  }
+  // Issuer: the provider's house CA usually; otherwise by Table 4 share.
+  draft.issuer_name = provider.ca_name;
+  if (!site_rng.bernoulli(0.70)) {
+    std::vector<double> issuer_weights;
+    for (const auto& issuer : issuers()) {
+      issuer_weights.push_back(issuer.validation_share);
+    }
+    draft.issuer_name = issuers()[site_rng.weighted(issuer_weights)].name;
+  }
+  return draft;
+}
+
+void Corpus::materialize_site(SiteDraft draft) {
+  Service& service = draft.service;
+  auto* ca = env_.find_ca(draft.issuer_name);
+  if (draft.sans.size() > ca->max_san_entries()) {
+    // Only a few CAs issue very large certificates (§6.5).
+    ca = env_.find_ca("Sectigo RSA DV Secure Server CA");
+  }
+  auto cert =
+      ca->issue(draft.site.domain, draft.sans, SimTime::from_micros(0));
+  service.certificate = std::make_shared<tls::Certificate>(
+      cert.ok() ? *cert
+                : *env_.default_ca().issue(draft.site.domain,
+                                           {draft.site.domain},
+                                           SimTime::from_micros(0)));
+
+  Service& added = env_.add_service(std::move(service));
+  (void)added;
+  site_service_index_[draft.site.domain] = env_.services().size() - 1;
+
+  sites_.push_back(std::move(draft.site));
 }
 
 web::Webpage Corpus::page_for_site(std::size_t site_index) const {

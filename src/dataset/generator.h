@@ -41,6 +41,14 @@ struct CorpusOptions {
   double dns_rotation_probability = 0.45;
   // Number of distinct long-tail third-party services in the world.
   std::size_t tail_service_count = 1'500;
+
+  // Worker threads for the per-site sampling phase. 0 resolves via
+  // ORIGIN_THREADS / hardware concurrency; 1 is the serial fallback. Any
+  // value yields the bit-identical corpus: per-site RNGs are forked in a
+  // serial prepass (forking mutates the parent stream, so it must happen in
+  // index order) and certificate issuance is materialized serially in index
+  // order after the parallel sampling.
+  std::size_t threads = 1;
 };
 
 struct SiteInfo {
@@ -87,10 +95,29 @@ class Corpus {
     bool secure = true;
   };
 
+  // One site's sampled state before the serial materialize step: everything
+  // the per-site RNG determines, nothing that touches shared mutable state
+  // (CA serial counters, the service registry). Drafting is the parallel
+  // region; materializing stays serial and ordered.
+  struct SiteDraft {
+    SiteInfo site;
+    browser::Service service;  // certificate filled at materialize time
+    std::vector<std::string> sans;
+    std::string issuer_name;
+  };
+  struct SiteWeights {
+    std::vector<double> hosting;
+    std::vector<double> popular;
+    std::vector<double> tail;
+  };
+
   void build_providers();
   void build_popular_services();
   void build_tail_services();
   void build_sites();
+  SiteDraft draft_site(std::size_t index, origin::util::Rng site_rng,
+                       const SiteWeights& weights) const;
+  void materialize_site(SiteDraft draft);
   web::ContentType sample_content_type(origin::util::Rng& rng,
                                        const std::string& organization) const;
   std::size_t sample_san_count(origin::util::Rng& rng) const;

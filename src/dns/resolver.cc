@@ -2,7 +2,16 @@
 
 #include <algorithm>
 
+#include "util/fnv.h"
+
 namespace origin::dns {
+
+Resolver::Resolver(AuthoritativeDns& upstream, Params params,
+                   std::uint64_t seed)
+    : upstream_(upstream),
+      params_(params),
+      rng_(seed),
+      rotation_salt_(origin::util::fnv1a64_mix(seed, 0x0D15C0117ULL)) {}
 
 Answer Resolver::resolve(const std::string& name, Family family,
                          origin::util::SimTime now) {
@@ -31,7 +40,14 @@ Answer Resolver::resolve(const std::string& name, Family family,
   std::uint32_t min_ttl = 0xffffffffu;
   std::vector<IpAddress> addresses;
   for (int depth = 0; depth < params_.max_cname_depth; ++depth) {
-    auto records = upstream_.query(current, want);
+    // Rotation position is a pure function of (resolver seed, name, how
+    // often THIS resolver asked): load-balanced answer sets stay diverse
+    // across pages yet independent of global query order.
+    const std::uint64_t rotation =
+        origin::util::fnv1a64_mix(rotation_salt_,
+                                  origin::util::fnv1a64(current)) +
+        upstream_queries_[current]++;
+    auto records = upstream_.query_at(current, want, rotation);
     if (records.empty()) break;
     if (records[0].type == RecordType::kCNAME) {
       min_ttl = std::min(min_ttl, records[0].ttl_seconds);

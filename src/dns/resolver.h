@@ -50,8 +50,11 @@ class Resolver {
     int max_cname_depth = 8;
   };
 
-  Resolver(AuthoritativeDns& upstream, Params params, std::uint64_t seed)
-      : upstream_(upstream), params_(params), rng_(seed) {}
+  // Resolvers are per-page (fresh_session) and the page seed determines
+  // which rotated DNS answer window the page sees: rotation is derived from
+  // (seed, name) rather than from a shared zone counter, so concurrent page
+  // loads get the same answers they would get serially, in any order.
+  Resolver(AuthoritativeDns& upstream, Params params, std::uint64_t seed);
 
   // Resolves `name` to addresses of `family` at simulated time `now`.
   Answer resolve(const std::string& name, Family family,
@@ -76,6 +79,10 @@ class Resolver {
   AuthoritativeDns& upstream_;
   Params params_;
   origin::util::Rng rng_;
+  std::uint64_t rotation_salt_ = 0;
+  // Per-name upstream query count: a TTL-expired re-query advances this
+  // resolver's window without touching any shared state.
+  std::map<std::string, std::uint64_t> upstream_queries_;
   std::map<std::string, CacheEntry> cache_;
   ResolverStats stats_;
 };

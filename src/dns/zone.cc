@@ -46,11 +46,50 @@ bool Zone::authoritative_for(const std::string& name) const {
   return name == apex_ || origin::util::ends_with(name, "." + apex_);
 }
 
-std::vector<ResourceRecord> Zone::query(const std::string& name,
-                                        RecordType type) {
+namespace {
+
+// Applies a zone's answer policy at the given rotation position. Pure: the
+// stateful query() advances a counter and delegates here; the parallel
+// pipeline supplies the position itself (derived per page) so two threads
+// querying the same name never perturb each other's answers.
+std::vector<ResourceRecord> answers_at(std::vector<ResourceRecord> matches,
+                                       AnswerPolicy policy,
+                                       std::uint64_t rotation) {
+  switch (policy) {
+    case AnswerPolicy::kAllFixed:
+      break;
+    case AnswerPolicy::kRoundRobin:
+      std::rotate(matches.begin(),
+                  matches.begin() +
+                      static_cast<std::ptrdiff_t>(rotation % matches.size()),
+                  matches.end());
+      break;
+    case AnswerPolicy::kSingle: {
+      ResourceRecord chosen = matches[rotation % matches.size()];
+      matches = {std::move(chosen)};
+      break;
+    }
+    case AnswerPolicy::kSubset: {
+      std::vector<ResourceRecord> window;
+      window.push_back(matches[rotation % matches.size()]);
+      if (matches.size() > 1) {
+        window.push_back(matches[(rotation + 1) % matches.size()]);
+      }
+      matches = std::move(window);
+      break;
+    }
+  }
+  return matches;
+}
+
+}  // namespace
+
+std::vector<ResourceRecord> Zone::query_at(const std::string& name,
+                                           RecordType type,
+                                           std::uint64_t rotation) const {
   auto it = names_.find(name);
   if (it == names_.end()) return {};
-  NameEntry& entry = it->second;
+  const NameEntry& entry = it->second;
   // CNAMEs answer any type query for the name.
   std::vector<ResourceRecord> cnames;
   std::vector<ResourceRecord> matches;
@@ -63,34 +102,21 @@ std::vector<ResourceRecord> Zone::query(const std::string& name,
   }
   if (!cnames.empty()) return cnames;
   if (matches.empty()) return {};
-  switch (entry.policy) {
-    case AnswerPolicy::kAllFixed:
-      break;
-    case AnswerPolicy::kRoundRobin:
-      std::rotate(matches.begin(),
-                  matches.begin() +
-                      static_cast<std::ptrdiff_t>(entry.rotation % matches.size()),
-                  matches.end());
-      entry.rotation++;
-      break;
-    case AnswerPolicy::kSingle: {
-      ResourceRecord chosen = matches[entry.rotation % matches.size()];
-      entry.rotation++;
-      matches = {std::move(chosen)};
-      break;
-    }
-    case AnswerPolicy::kSubset: {
-      std::vector<ResourceRecord> window;
-      window.push_back(matches[entry.rotation % matches.size()]);
-      if (matches.size() > 1) {
-        window.push_back(matches[(entry.rotation + 1) % matches.size()]);
-      }
-      entry.rotation++;
-      matches = std::move(window);
-      break;
-    }
+  return answers_at(std::move(matches), entry.policy, rotation);
+}
+
+std::vector<ResourceRecord> Zone::query(const std::string& name,
+                                        RecordType type) {
+  auto it = names_.find(name);
+  if (it == names_.end()) return {};
+  NameEntry& entry = it->second;
+  auto result = query_at(name, type, entry.rotation);
+  // Only address answers consume a rotation step (CNAME chains and misses
+  // did not rotate before either).
+  if (!result.empty() && result[0].type != RecordType::kCNAME) {
+    entry.rotation++;
   }
-  return matches;
+  return result;
 }
 
 Zone& AuthoritativeDns::add_zone(const std::string& apex) {
@@ -110,12 +136,30 @@ Zone* AuthoritativeDns::find_zone_for(const std::string& name) {
   return best;
 }
 
+const Zone* AuthoritativeDns::find_zone_for(const std::string& name) const {
+  const Zone* best = nullptr;
+  for (const auto& [apex, zone] : zones_) {
+    if (zone.authoritative_for(name)) {
+      if (best == nullptr || apex.size() > best->apex().size()) best = &zone;
+    }
+  }
+  return best;
+}
+
 std::vector<ResourceRecord> AuthoritativeDns::query(const std::string& name,
                                                     RecordType type) {
-  ++queries_;
+  queries_.fetch_add(1, std::memory_order_relaxed);
   Zone* zone = find_zone_for(name);
   if (zone == nullptr) return {};
   return zone->query(name, type);
+}
+
+std::vector<ResourceRecord> AuthoritativeDns::query_at(
+    const std::string& name, RecordType type, std::uint64_t rotation) const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const Zone* zone = find_zone_for(name);
+  if (zone == nullptr) return {};
+  return zone->query_at(name, type, rotation);
 }
 
 }  // namespace origin::dns

@@ -7,6 +7,7 @@
 // experiments reproduce exactly those divergent outcomes.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -45,8 +46,20 @@ class Zone {
 
   bool authoritative_for(const std::string& name) const;
 
-  // Answers a query without CNAME chasing (the resolver does that).
+  // Answers a query without CNAME chasing (the resolver does that),
+  // advancing this zone's internal rotation counter. Stateful: two equal
+  // queries may get different (rotated) answers. Not safe for concurrent
+  // callers — the parallel pipeline uses query_at instead.
   std::vector<ResourceRecord> query(const std::string& name, RecordType type);
+
+  // Order-independent variant: the caller supplies the rotation position
+  // (resolvers derive it from their per-page seed), so answers depend only
+  // on (name, rotation) — never on how many queries other threads made
+  // first. This is what keeps DNS load-balancing effects deterministic at
+  // any thread count.
+  std::vector<ResourceRecord> query_at(const std::string& name,
+                                       RecordType type,
+                                       std::uint64_t rotation) const;
 
  private:
   struct NameEntry {
@@ -64,13 +77,23 @@ class AuthoritativeDns {
  public:
   Zone& add_zone(const std::string& apex);
   Zone* find_zone_for(const std::string& name);
+  const Zone* find_zone_for(const std::string& name) const;
 
-  std::uint64_t query_count() const { return queries_; }
+  std::uint64_t query_count() const {
+    return queries_.load(std::memory_order_relaxed);
+  }
+  // Stateful rotation (single-threaded direct users).
   std::vector<ResourceRecord> query(const std::string& name, RecordType type);
+  // Caller-supplied rotation; safe for concurrent resolvers. The query
+  // counter is an order-independent sum, so it stays exact in parallel.
+  std::vector<ResourceRecord> query_at(const std::string& name,
+                                       RecordType type,
+                                       std::uint64_t rotation) const;
 
  private:
   std::map<std::string, Zone> zones_;  // keyed by apex
-  std::uint64_t queries_ = 0;
+  // Atomic: concurrent page loads all funnel their recursive queries here.
+  mutable std::atomic<std::uint64_t> queries_ = 0;
 };
 
 }  // namespace origin::dns

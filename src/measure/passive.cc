@@ -2,11 +2,30 @@
 
 #include <algorithm>
 
+#include "util/fnv.h"
+#include "util/thread_pool.h"
+
 namespace origin::measure {
 
-void PassivePipeline::observe(const web::PageLoad& load,
-                              const std::string& domain, Treatment treatment,
-                              std::uint64_t day) {
+bool PassivePipeline::sampled(std::uint64_t connection_id,
+                              std::uint32_t arrival_order,
+                              Treatment treatment, std::uint64_t day) const {
+  // Keyed hash -> uniform [0, 1) from the top 53 bits. At rate 1.0 every
+  // record passes (the value is strictly below 1.0).
+  std::uint64_t h = origin::util::fnv1a64_mix(seed_, 0x5A3B1EULL);
+  h = origin::util::fnv1a64_mix(h, connection_id);
+  h = origin::util::fnv1a64_mix(
+      h, (static_cast<std::uint64_t>(arrival_order) << 1) |
+             (treatment == Treatment::kControl ? 0u : 1u));
+  h = origin::util::fnv1a64_mix(h, day);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < sample_rate_;
+}
+
+PassivePipeline::Delta PassivePipeline::observe_one(const web::PageLoad& load,
+                                                    const std::string& domain,
+                                                    Treatment treatment,
+                                                    std::uint64_t day) const {
+  Delta delta;
   // Reconstruct per-connection request streams for this page load.
   std::map<std::uint64_t, std::uint32_t> arrival_counters;
   std::map<std::uint64_t, std::string> connection_sni;
@@ -21,12 +40,13 @@ void PassivePipeline::observe(const web::PageLoad& load,
 
     // Connection accounting is complete (handshake logs are unsampled).
     if (entry.new_tls_connection) {
-      ++(treatment == Treatment::kControl ? control_connections_
-                                          : experiment_connections_);
-      ++day_connections_[{treatment == Treatment::kControl ? 0 : 1, day}];
+      ++(treatment == Treatment::kControl ? delta.control_connections
+                                          : delta.experiment_connections);
+      ++delta
+            .day_connections[{treatment == Treatment::kControl ? 0 : 1, day}];
     }
     // Request logs are sampled at `sample_rate_`.
-    if (!rng_.bernoulli(sample_rate_)) continue;
+    if (!sampled(entry.connection_id, order, treatment, day)) continue;
     LogRecord record;
     record.connection_id = entry.connection_id;
     record.sni = it->second;
@@ -35,8 +55,49 @@ void PassivePipeline::observe(const web::PageLoad& load,
     record.treatment = treatment;
     record.arrival_order = order;
     record.day = day;
-    records_.push_back(std::move(record));
+    delta.records.push_back(std::move(record));
   }
+  return delta;
+}
+
+void PassivePipeline::apply(Delta&& delta) {
+  records_.insert(records_.end(),
+                  std::make_move_iterator(delta.records.begin()),
+                  std::make_move_iterator(delta.records.end()));
+  for (const auto& [key, count] : delta.day_connections) {
+    day_connections_[key] += count;
+  }
+  control_connections_ += delta.control_connections;
+  experiment_connections_ += delta.experiment_connections;
+}
+
+void PassivePipeline::observe(const web::PageLoad& load,
+                              const std::string& domain, Treatment treatment,
+                              std::uint64_t day) {
+  apply(observe_one(load, domain, treatment, day));
+}
+
+void PassivePipeline::observe_batch(
+    const std::vector<Observation>& observations, const std::string& domain,
+    std::size_t threads) {
+  std::vector<Delta> deltas(observations.size());
+  origin::util::ThreadPool pool(threads);
+  pool.parallel_for_index(observations.size(), [&](std::size_t i) {
+    const Observation& obs = observations[i];
+    deltas[i] = observe_one(*obs.load, domain, obs.treatment, obs.day);
+  });
+  // Serial apply in input order: record order matches the serial loop.
+  for (auto& delta : deltas) apply(std::move(delta));
+}
+
+void PassivePipeline::merge(const PassivePipeline& other) {
+  records_.insert(records_.end(), other.records_.begin(),
+                  other.records_.end());
+  for (const auto& [key, count] : other.day_connections_) {
+    day_connections_[key] += count;
+  }
+  control_connections_ += other.control_connections_;
+  experiment_connections_ += other.experiment_connections_;
 }
 
 std::uint64_t PassivePipeline::new_connections(Treatment treatment) const {

@@ -15,7 +15,6 @@
 #include <string>
 #include <vector>
 
-#include "util/rng.h"
 #include "web/har.h"
 
 namespace origin::measure {
@@ -36,13 +35,37 @@ class PassivePipeline {
  public:
   explicit PassivePipeline(double sample_rate = 0.01,
                            std::uint64_t seed = 0xCD4)
-      : sample_rate_(sample_rate), rng_(seed) {}
+      : sample_rate_(sample_rate), seed_(seed) {}
 
   // Feeds one page load's requests to the third-party `domain`. The
   // referrer (base hostname) determines the treatment group, as in the
   // paper's Referer-based attribution.
+  //
+  // Sampling is a pure hash of (seed, connection id, arrival order, day,
+  // treatment) rather than a stateful RNG draw, so whether a request is
+  // sampled never depends on how many requests other workers observed
+  // first — the property that lets sharded aggregation stay bit-identical
+  // to the serial pipeline.
   void observe(const web::PageLoad& load, const std::string& domain,
                Treatment treatment, std::uint64_t day);
+
+  // One page load awaiting aggregation (observe_batch input).
+  struct Observation {
+    const web::PageLoad* load = nullptr;
+    Treatment treatment = Treatment::kControl;
+    std::uint64_t day = 0;
+  };
+  // Aggregates a batch on a thread pool (threads: 0 = ORIGIN_THREADS
+  // default, 1 = serial fallback). Per-load deltas are computed in parallel
+  // and applied serially in input order, so records land in exactly the
+  // order the serial observe() loop would produce.
+  void observe_batch(const std::vector<Observation>& observations,
+                     const std::string& domain, std::size_t threads = 1);
+
+  // Folds another pipeline's aggregates into this one (record order:
+  // ours first, then theirs). Both must share sample_rate and seed so the
+  // merged result equals a single pipeline having observed both streams.
+  void merge(const PassivePipeline& other);
 
   // New TLS connections to the third party per treatment (per day).
   std::uint64_t new_connections(Treatment treatment) const;
@@ -59,8 +82,23 @@ class PassivePipeline {
   double reduction_vs_control() const;
 
  private:
+  // Everything one observe() call adds to the pipeline. Deltas are pure
+  // functions of (load, domain, treatment, day), which is what makes the
+  // parallel batch path exact.
+  struct Delta {
+    std::vector<LogRecord> records;
+    std::map<std::pair<int, std::uint64_t>, std::uint64_t> day_connections;
+    std::uint64_t control_connections = 0;
+    std::uint64_t experiment_connections = 0;
+  };
+  Delta observe_one(const web::PageLoad& load, const std::string& domain,
+                    Treatment treatment, std::uint64_t day) const;
+  void apply(Delta&& delta);
+  bool sampled(std::uint64_t connection_id, std::uint32_t arrival_order,
+               Treatment treatment, std::uint64_t day) const;
+
   double sample_rate_;
-  origin::util::Rng rng_;
+  std::uint64_t seed_;
   std::vector<LogRecord> records_;
   // Full (unsampled) connection counts, as the CDN's connection logs see
   // every handshake even when request logs are sampled.

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <set>
 
+#include "util/check.h"
+#include "util/thread_pool.h"
+
 namespace origin::model {
 
 using origin::util::Duration;
@@ -197,6 +200,29 @@ web::PageLoad CoalescingModel::reconstruct(
       entry.start = new_anchor_end + gap;
     }
   }
+  return out;
+}
+
+std::vector<PageAnalysis> CoalescingModel::analyze_batch(
+    const std::vector<web::PageLoad>& loads, std::size_t threads) const {
+  std::vector<PageAnalysis> out(loads.size());
+  origin::util::ThreadPool pool(threads);
+  pool.parallel_for_index(loads.size(),
+                          [&](std::size_t i) { out[i] = analyze(loads[i]); });
+  return out;
+}
+
+std::vector<web::PageLoad> CoalescingModel::reconstruct_batch(
+    const std::vector<web::PageLoad>& loads,
+    const std::vector<PageAnalysis>& analyses,
+    const std::string& restrict_to_group, std::size_t threads) const {
+  ORIGIN_CHECK(loads.size() == analyses.size(),
+               "reconstruct_batch: loads/analyses size mismatch");
+  std::vector<web::PageLoad> out(loads.size());
+  origin::util::ThreadPool pool(threads);
+  pool.parallel_for_index(loads.size(), [&](std::size_t i) {
+    out[i] = reconstruct(loads[i], analyses[i], restrict_to_group);
+  });
   return out;
 }
 

@@ -76,6 +76,18 @@ class CoalescingModel {
                             const PageAnalysis& analysis,
                             const std::string& restrict_to_group = "") const;
 
+  // Sharded per-site replay: analyze/reconstruct every load on a thread
+  // pool. Both are pure per page and results are merged by input index, so
+  // output is bit-identical at any thread count (threads: 0 = ORIGIN_THREADS
+  // default, 1 = serial fallback).
+  std::vector<PageAnalysis> analyze_batch(
+      const std::vector<web::PageLoad>& loads, std::size_t threads = 1) const;
+  std::vector<web::PageLoad> reconstruct_batch(
+      const std::vector<web::PageLoad>& loads,
+      const std::vector<PageAnalysis>& analyses,
+      const std::string& restrict_to_group = "",
+      std::size_t threads = 1) const;
+
   // Group key for a hostname under the configured grouping.
   std::string group_of(const std::string& hostname, std::uint32_t asn) const;
 

@@ -4,6 +4,7 @@
 // 100 names, Comodo at 2000).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -71,11 +72,15 @@ class TrustStore {
                    origin::util::SimTime now) const;
 
   // Total validations performed (each is one client-side crypto check).
-  std::uint64_t validation_count() const { return validations_; }
+  std::uint64_t validation_count() const {
+    return validations_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::vector<const CertificateAuthority*> cas_;
-  mutable std::uint64_t validations_ = 0;
+  // Atomic: every concurrent page load validates through the one shared
+  // store; the count is an order-independent sum.
+  mutable std::atomic<std::uint64_t> validations_ = 0;
 };
 
 }  // namespace origin::tls

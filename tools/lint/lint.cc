@@ -26,6 +26,34 @@
 //                         declared [[nodiscard]] (the class-level attribute
 //                         is what makes the compiler flag silent drops).
 //
+// Thread-discipline rules (enforced on every compiler, so the clang-only
+// thread-safety analysis has a floor that gcc builds keep too):
+//
+//   no-raw-std-mutex      `std::mutex` / `std::lock_guard` / std locks and
+//                         condition variables are forbidden outside util/;
+//                         use util::Mutex / util::MutexLock / util::CondVar
+//                         (util/thread_annotations.h), whose capability
+//                         annotations the clang analysis can see.
+//
+//   no-raw-std-thread     `std::thread` is forbidden outside util/; shard
+//                         work through util::ThreadPool so the determinism
+//                         and shutdown discipline live in one audited place.
+//
+//   no-thread-detach      `.detach()` is forbidden everywhere: a detached
+//                         thread outlives the state it touches and no test
+//                         can join on its failures.
+//
+//   no-volatile-sync      `volatile` is forbidden: it is not a
+//                         synchronization primitive. Use std::atomic for
+//                         order-independent counters or a util::Mutex.
+//
+//   guarded-by-annotation members declared in the block following a mutex
+//                         member must carry ORIGIN_GUARDED_BY /
+//                         ORIGIN_PT_GUARDED_BY (sync primitives, immutable
+//                         const/static members, and annotated lines are
+//                         exempt) — the heuristic that keeps new shared
+//                         state from silently skipping the clang analysis.
+//
 // A violation can be waived for one line with a trailing
 // `// lint:allow(<rule>)` comment; every waiver is an audited exception.
 //
@@ -52,10 +80,20 @@ struct Violation {
 // narrowing-cast rule applies only here, the rest of the rules repo-wide.
 const char* kParserDirs[] = {"h2", "hpack", "web", "h1", "util"};
 
+std::string first_component(const std::filesystem::path& rel) {
+  return rel.begin() != rel.end() ? rel.begin()->string() : "";
+}
+
 bool in_parser_dir(const std::filesystem::path& rel) {
-  const std::string first = rel.begin() != rel.end() ? rel.begin()->string() : "";
+  const std::string first = first_component(rel);
   return std::any_of(std::begin(kParserDirs), std::end(kParserDirs),
                      [&](const char* dir) { return first == dir; });
+}
+
+// util/ owns the annotated wrappers, so only it may touch the raw
+// primitives those wrappers are built on.
+bool in_util_dir(const std::filesystem::path& rel) {
+  return first_component(rel) == "util";
 }
 
 bool allows(const std::string& line, const std::string& rule) {
@@ -94,9 +132,24 @@ class Linter {
         R"(^\s*(\[\[nodiscard\]\]\s*)?(static\s+)?(virtual\s+)?((origin::)?util::)?(Result<|Status\s+[A-Za-z_]))");
     static const std::regex c_int_cast(
         R"(\(\s*(std::)?u?int(8|16|32|64)_t\s*\)\s*[\w(])");
+    static const std::regex raw_mutex(
+        R"(std::(mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|shared_lock|scoped_lock|condition_variable|condition_variable_any)\b)");
+    static const std::regex raw_thread(R"(std::j?thread\b)");
+    static const std::regex thread_detach(R"(\.\s*detach\s*\()");
+    static const std::regex volatile_kw(R"((^|[^\w_])volatile([^\w_]|$))");
+    // A mutex member declaration opens a "guarded block": following member
+    // declarations must carry ORIGIN_GUARDED_BY until the block ends.
+    static const std::regex mutex_member(
+        R"(^\s*((origin::)?util::)?(Mutex|std::mutex)\s+\w+)");
+    // Member declaration with no parentheses: `type name = init;` — the
+    // no-parens shape excludes functions and already-annotated members.
+    static const std::regex plain_member(
+        R"(^\s*(const\s+|static\s+|constexpr\s+|mutable\s+)*[\w:]+(<[^;()]*>)?(\s*[*&])?\s+\w+\s*(=\s*[^;()]*)?(\{[^;()]*\})?\s*;)");
+    static const std::regex access_specifier(R"(^\s*(public|private|protected)\s*:)");
 
     bool saw_nodiscard_result = false;
     bool saw_nodiscard_status = false;
+    bool in_guarded_block = false;
 
     std::string line;
     std::string previous;
@@ -148,6 +201,63 @@ class Linter {
         if (line.find("class [[nodiscard]] Status") != std::string::npos) {
           saw_nodiscard_status = true;
         }
+      }
+
+      // --- thread discipline -------------------------------------------
+      if (!in_util_dir(rel) && !comment && !allows(line, "no-raw-std-mutex") &&
+          std::regex_search(line, raw_mutex)) {
+        report(rel, lineno, "no-raw-std-mutex",
+               "use util::Mutex / util::MutexLock / util::CondVar from "
+               "util/thread_annotations.h so clang's thread-safety analysis "
+               "sees the lock");
+      }
+
+      if (!in_util_dir(rel) && !comment && !allows(line, "no-raw-std-thread") &&
+          std::regex_search(line, raw_thread)) {
+        report(rel, lineno, "no-raw-std-thread",
+               "shard work through util::ThreadPool instead of spawning raw "
+               "std::thread");
+      }
+
+      if (!comment && !allows(line, "no-thread-detach") &&
+          std::regex_search(line, thread_detach)) {
+        report(rel, lineno, "no-thread-detach",
+               "detached threads outlive the state they touch; keep the "
+               "handle and join");
+      }
+
+      if (!comment && !allows(line, "no-volatile-sync") &&
+          std::regex_search(line, volatile_kw)) {
+        report(rel, lineno, "no-volatile-sync",
+               "volatile is not a synchronization primitive; use std::atomic "
+               "or a util::Mutex");
+      }
+
+      // guarded-by-annotation: members following a mutex member must be
+      // annotated. Sync primitives, const/static/constexpr members, and
+      // lines already carrying an annotation are exempt; the block ends at
+      // a blank line, access specifier, or closing brace.
+      if (!comment) {
+        const std::string t = trimmed(line);
+        if (in_guarded_block) {
+          if (t.empty() || t.find('}') != std::string::npos ||
+              std::regex_search(line, access_specifier)) {
+            in_guarded_block = false;
+          } else if (line.find("GUARDED_BY") == std::string::npos &&
+                     !allows(line, "guarded-by-annotation") &&
+                     line.find("Mutex") == std::string::npos &&
+                     line.find("CondVar") == std::string::npos &&
+                     line.find("atomic") == std::string::npos &&
+                     t.rfind("const ", 0) != 0 &&
+                     t.rfind("static ", 0) != 0 &&
+                     t.rfind("constexpr ", 0) != 0 &&
+                     std::regex_search(line, plain_member)) {
+            report(rel, lineno, "guarded-by-annotation",
+                   "member declared after a mutex must be ORIGIN_GUARDED_BY "
+                   "(or exempted with lint:allow)");
+          }
+        }
+        if (std::regex_search(line, mutex_member)) in_guarded_block = true;
       }
 
       previous = line;

@@ -1,0 +1,20 @@
+// Lint regression fixture: raw std::mutex / std::lock_guard outside util/
+// must be rejected (no-raw-std-mutex). This file is never compiled; it only
+// feeds the origin_lint_rejects_raw_mutex ctest entry.
+#include <mutex>
+
+namespace origin::dataset {
+
+class Cache {
+ public:
+  void put(int value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    value_ = value;
+  }
+
+ private:
+  std::mutex mu_;
+  int value_ = 0;
+};
+
+}  // namespace origin::dataset

@@ -1,0 +1,13 @@
+// Lint regression fixture: raw std::thread outside util/ plus a detach()
+// must be rejected (no-raw-std-thread, no-thread-detach). This file is never
+// compiled; it only feeds the origin_lint_rejects_raw_thread ctest entry.
+#include <thread>
+
+namespace origin::measure {
+
+void fire_and_forget() {
+  std::thread worker([] {});
+  worker.detach();
+}
+
+}  // namespace origin::measure
