@@ -1,0 +1,110 @@
+// Fuzz driver: FaultConfig parser plus the injector's close discipline.
+//
+// The input is "key=value,key=value" fault-plan text, the surface users
+// reach via ORIGIN_FAULT_* / bench flags. Accepted configs must round-trip
+// through serialize(), and driving a small simulated network under the
+// resulting plan must preserve the teardown invariants: an endpoint's
+// on_close fires at most once, no bytes arrive after close, and a
+// max_faults budget is never exceeded.
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string_view>
+
+#include "netsim/faults.h"
+#include "netsim/network.h"
+#include "netsim/simulator.h"
+#include "util/check.h"
+
+namespace {
+
+struct EndpointLog {
+  std::uint32_t closes = 0;
+  bool receive_after_close = false;
+};
+
+// Watches one side of a connection for the invariants under test.
+void watch(origin::netsim::TcpEndpoint endpoint,
+           std::shared_ptr<EndpointLog> log) {
+  endpoint.set_on_receive([log](std::span<const std::uint8_t>) {
+    if (log->closes > 0) log->receive_after_close = true;
+  });
+  endpoint.set_on_close([log](const std::string& reason) {
+    ORIGIN_CHECK(!reason.empty(), "fault fuzz: close without a reason");
+    ++log->closes;
+  });
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  constexpr std::size_t kMaxConfig = 4096;
+  if (size > kMaxConfig) size = kMaxConfig;
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  auto config = origin::netsim::FaultConfig::parse(text);
+  if (!config.ok()) return 0;
+
+  // Accepted configs are canonicalizable and the canonical form is a
+  // fixed point: parse(serialize()) == serialize().
+  const std::string canonical = config->serialize();
+  auto reparsed = origin::netsim::FaultConfig::parse(canonical);
+  ORIGIN_CHECK(reparsed.ok(), "fault fuzz: serialize() not parseable");
+  ORIGIN_CHECK(reparsed->serialize() == canonical,
+               "fault fuzz: canonical form not a fixed point");
+
+  // Drive a small world under the plan. Everything is simulated time, so
+  // even multi-second stall delays cost nothing real.
+  origin::netsim::FaultInjector injector(*config);
+  origin::netsim::Simulator sim;
+  origin::netsim::Network net(sim);
+  net.set_fault_injector(&injector);
+
+  std::map<int, std::shared_ptr<EndpointLog>> logs;
+  for (int i = 0; i < 8; ++i) logs[i] = std::make_shared<EndpointLog>();
+
+  int next_server_log = 4;  // server-side logs occupy slots 4..7
+  net.listen(origin::dns::IpAddress::v4(1),
+             [&logs, &next_server_log](origin::netsim::TcpEndpoint endpoint) {
+               auto log = logs[next_server_log++];
+               endpoint.set_on_close([log](const std::string& reason) {
+                 ORIGIN_CHECK(!reason.empty(),
+                              "fault fuzz: close without a reason");
+                 ++log->closes;
+               });
+               endpoint.set_on_receive(
+                   [log, endpoint](std::span<const std::uint8_t> b) mutable {
+                     if (log->closes > 0) log->receive_after_close = true;
+                     if (endpoint.open()) {
+                       endpoint.send(origin::util::Bytes(b.begin(), b.end()));
+                     }
+                   });
+             });
+
+  for (int i = 0; i < 4; ++i) {
+    net.connect("fuzz-client", origin::dns::IpAddress::v4(1),
+                [&logs, i](origin::util::Result<origin::netsim::TcpEndpoint>
+                               endpoint) {
+                  if (!endpoint.ok()) return;  // injected refusal is fine
+                  watch(*endpoint, logs[i]);
+                  auto wire = origin::netsim::TcpEndpoint(*endpoint);
+                  for (int batch = 0; batch < 3; ++batch) {
+                    if (!wire.open()) break;
+                    wire.send(origin::util::Bytes(32, 0x42));
+                  }
+                });
+  }
+  sim.run_until_idle();
+
+  for (const auto& [index, log] : logs) {
+    ORIGIN_CHECK(log->closes <= 1, "fault fuzz: on_close fired twice");
+    ORIGIN_CHECK(!log->receive_after_close,
+                 "fault fuzz: bytes delivered after close");
+  }
+  if (config->max_faults > 0) {
+    ORIGIN_CHECK(injector.injected() <= config->max_faults,
+                 "fault fuzz: injection budget exceeded");
+  }
+  return 0;
+}

@@ -7,10 +7,15 @@
 #   2. clang-tidy over the parser directories, when clang-tidy is on PATH
 #      (advisory skip otherwise — the pinned CI image is gcc-only)
 #   3. ASan preset build + full ctest
-#   4. UBSan preset build + full ctest
-#   5. TSan preset build + the concurrency suites (thread pool stress +
-#      pipeline determinism) with ORIGIN_THREADS=8, so every shard path runs
-#      contended under the race detector
+#   4. fault matrix: the wire/loader suites replayed at injected fault
+#      rates 0 / 5 / 20% (ORIGIN_FAULT_RATE) under the ASan build, so every
+#      degradation path (timeout, backoff, avoid-list, re-dispatch) runs
+#      with the allocator instrumented
+#   5. UBSan preset build + full ctest
+#   6. TSan preset build + the concurrency suites (thread pool stress +
+#      pipeline determinism + fault-schedule determinism) with
+#      ORIGIN_THREADS=8, so every shard path runs contended under the race
+#      detector
 #
 # Usage: scripts/check.sh [--quick]
 #   --quick   tier-1 + lint only; skip the sanitizer rebuilds.
@@ -28,10 +33,10 @@ run_suite() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
-echo "==> [1/5] tier-1 build + ctest (lint + fuzz replays included)"
+echo "==> [1/6] tier-1 build + ctest (lint + fuzz replays included)"
 run_suite build
 
-echo "==> [2/5] clang-tidy (parser directories)"
+echo "==> [2/6] clang-tidy (parser directories)"
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   git ls-files 'src/h2/*.cc' 'src/hpack/*.cc' 'src/web/*.cc' 'src/util/*.cc' |
@@ -45,16 +50,23 @@ if [[ "$QUICK" == "1" ]]; then
   exit 0
 fi
 
-echo "==> [3/5] AddressSanitizer preset"
+echo "==> [3/6] AddressSanitizer preset"
 run_suite build-asan -DORIGIN_SANITIZE=address
 
-echo "==> [4/5] UndefinedBehaviorSanitizer preset"
+echo "==> [4/6] fault matrix (wire suites at 0/5/20% injected faults, ASan)"
+for rate in 0 0.05 0.20; do
+  echo "--- ORIGIN_FAULT_RATE=$rate"
+  ORIGIN_FAULT_RATE="$rate" ctest --test-dir build-asan --output-on-failure \
+    -j "$JOBS" -R 'FaultInjection|FaultDeterminism|KillSwitch|WireClient|Http2Server|Middleboxes'
+done
+
+echo "==> [5/6] UndefinedBehaviorSanitizer preset"
 run_suite build-ubsan -DORIGIN_SANITIZE=undefined
 
-echo "==> [5/5] ThreadSanitizer preset (concurrency suites, 8 threads)"
+echo "==> [6/6] ThreadSanitizer preset (concurrency suites, 8 threads)"
 cmake -B build-tsan -S . -DORIGIN_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS"
 ORIGIN_THREADS=8 ctest --test-dir build-tsan --output-on-failure \
-  -R 'ThreadPool|PipelineDeterminism'
+  -R 'ThreadPool|PipelineDeterminism|FaultDeterminism'
 
 echo "==> all checks passed"

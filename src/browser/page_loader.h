@@ -50,6 +50,9 @@ struct LoaderOptions {
   // New browser session per page (paper method): fresh DNS cache, empty
   // connection pool.
   bool fresh_session = true;
+  // Client tag the wire client connects under; middleboxes and the server's
+  // per-client ORIGIN kill-switch key on it.
+  std::string network_tag = "wire-client";
 };
 
 class PageLoader {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "server/http2_server.h"
 #include "util/check.h"
 #include "util/fnv.h"
 #include "util/thread_pool.h"
@@ -22,7 +23,10 @@ const IpAddress kAnycastAddress = IpAddress::v4(0x0AFE0100);
 }  // namespace
 
 Deployment::Deployment(dataset::Corpus& corpus, DeploymentOptions options)
-    : corpus_(corpus), options_(std::move(options)), rng_(options_.seed) {
+    : corpus_(corpus),
+      options_(std::move(options)),
+      rng_(options_.seed),
+      kill_switch_(options_.kill_switch) {
   // A valid, unused domain with the same byte length as the third party
   // (Figure 6: both groups' certificates grow by identical byte counts).
   control_pad_ = "unusedpad.control.io";
@@ -340,6 +344,18 @@ Deployment::PassiveResult Deployment::run_passive_longitudinal(
   }
   if (deployed) undo_origin_frames();
   return result;
+}
+
+void Deployment::attach_kill_switch(server::Http2Server& server) {
+  server.set_origin_gate([this](const std::string& client_tag) {
+    return kill_switch_.should_send_origin(client_tag);
+  });
+  server.set_close_feedback([this](const std::string& client_tag,
+                                   bool origin_sent,
+                                   const std::string& reason) {
+    kill_switch_.record_outcome(client_tag, origin_sent,
+                                abnormal_close(reason));
+  });
 }
 
 }  // namespace origin::cdn

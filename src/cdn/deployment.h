@@ -23,9 +23,14 @@
 #include <vector>
 
 #include "browser/page_loader.h"
+#include "cdn/kill_switch.h"
 #include "dataset/generator.h"
 #include "measure/passive.h"
 #include "util/stats.h"
+
+namespace origin::server {
+class Http2Server;
+}  // namespace origin::server
 
 namespace origin::cdn {
 
@@ -44,6 +49,9 @@ struct DeploymentOptions {
   // (seed and connection-id block derived from the global visit index), and
   // observation stays in visit order.
   std::size_t threads = 1;
+  // §6.7 safety valve: parameters for the per-client-tag ORIGIN
+  // kill-switch (see cdn/kill_switch.h).
+  KillSwitchOptions kill_switch;
 };
 
 class Deployment {
@@ -97,6 +105,14 @@ class Deployment {
   std::size_t subpage_only_dropped() const { return subpage_only_dropped_; }
   const std::string& third_party() const { return options_.third_party; }
 
+  // Wires this deployment's ORIGIN kill-switch into a wire-level server:
+  // the gate decides per accepted connection whether to advertise ORIGIN,
+  // and every close feeds the tag's teardown window. The deployment must
+  // outlive the server's use of these callbacks.
+  void attach_kill_switch(server::Http2Server& server);
+  OriginKillSwitch& kill_switch() { return kill_switch_; }
+  const OriginKillSwitch& kill_switch() const { return kill_switch_; }
+
  private:
   void reissue_certificates();
   void set_origin_frames(bool enabled);
@@ -112,6 +128,7 @@ class Deployment {
   std::size_t subpage_only_dropped_ = 0;
   bool ip_deployed_ = false;
   bool origin_deployed_ = false;
+  OriginKillSwitch kill_switch_;
 };
 
 }  // namespace origin::cdn

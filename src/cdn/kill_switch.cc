@@ -1,0 +1,66 @@
+#include "cdn/kill_switch.h"
+
+namespace origin::cdn {
+
+bool OriginKillSwitch::should_send_origin(const std::string& client_tag) {
+  auto& state = tags_[client_tag];
+  if (!state.disabled) return true;
+  ++state.queries_since_probe;
+  if (!state.probe_outstanding &&
+      state.queries_since_probe >= options_.probe_after) {
+    state.queries_since_probe = 0;
+    state.probe_outstanding = true;
+    ++probes_;
+    return true;
+  }
+  return false;
+}
+
+void OriginKillSwitch::record_outcome(const std::string& client_tag,
+                                      bool origin_sent, bool torn_down) {
+  // A connection without ORIGIN says nothing about ORIGIN tolerance.
+  if (!origin_sent) return;
+  auto& state = tags_[client_tag];
+  if (state.disabled) {
+    if (!state.probe_outstanding) return;
+    state.probe_outstanding = false;
+    if (!torn_down) {
+      // Clean probe: the path tolerates ORIGIN again (vendor shipped the
+      // fixed agent). Restart with an empty window.
+      state.disabled = false;
+      state.window.clear();
+      state.torn_down = 0;
+      ++reenables_;
+    }
+    return;
+  }
+  state.window.push_back(torn_down);
+  if (torn_down) ++state.torn_down;
+  while (state.window.size() > options_.window) {
+    if (state.window.front()) --state.torn_down;
+    state.window.pop_front();
+  }
+  if (state.window.size() >= options_.min_observations &&
+      static_cast<double>(state.torn_down) >=
+          options_.teardown_threshold *
+              static_cast<double>(state.window.size())) {
+    state.disabled = true;
+    state.queries_since_probe = 0;
+    state.probe_outstanding = false;
+    ++disables_;
+  }
+}
+
+bool OriginKillSwitch::disabled(const std::string& client_tag) const {
+  auto it = tags_.find(client_tag);
+  return it != tags_.end() && it->second.disabled;
+}
+
+bool abnormal_close(const std::string& reason) {
+  for (const char* marker : {"teardown", "injected", "protocol error", "rst"}) {
+    if (reason.find(marker) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace origin::cdn

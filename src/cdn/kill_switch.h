@@ -1,0 +1,76 @@
+// ORIGIN kill-switch: the operational control the §6.7 incident demanded.
+//
+// When an antivirus agent tore down every connection carrying an ORIGIN
+// frame, the CDN's only remedy was a manual rollback for everyone. This
+// class automates the targeted version: per client tag, it watches the
+// teardown rate of ORIGIN-bearing connections over a sliding window and
+// stops advertising ORIGIN for that tag once the rate crosses a threshold —
+// clients behind the hostile middlebox degrade to uncoalesced (but working)
+// loads while everyone else keeps coalescing. Periodic probe connections
+// re-test the path and re-enable ORIGIN once the middlebox is fixed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+namespace origin::cdn {
+
+struct KillSwitchOptions {
+  // Sliding window of per-connection outcomes (ORIGIN-bearing only).
+  std::size_t window = 16;
+  // Disable when torn_down/window_size >= threshold ...
+  double teardown_threshold = 0.5;
+  // ... but only after at least this many observations.
+  std::size_t min_observations = 4;
+  // While disabled, every Nth gate query sends a probe ORIGIN frame; a
+  // clean probe re-enables the tag.
+  std::size_t probe_after = 8;
+};
+
+class OriginKillSwitch {
+ public:
+  explicit OriginKillSwitch(KillSwitchOptions options = {})
+      : options_(options) {}
+
+  // Gate consulted at accept time (wire into ServerConfig::origin_gate).
+  // Returns whether this connection should carry an ORIGIN frame; while a
+  // tag is disabled, every `probe_after`-th query answers true as a probe.
+  bool should_send_origin(const std::string& client_tag);
+
+  // Outcome feed (wire into ServerConfig::close_feedback via
+  // `abnormal_close(reason)`). Only ORIGIN-bearing connections enter the
+  // window: teardowns of plain connections say nothing about ORIGIN.
+  void record_outcome(const std::string& client_tag, bool origin_sent,
+                      bool torn_down);
+
+  bool disabled(const std::string& client_tag) const;
+
+  std::uint64_t disables() const { return disables_; }
+  std::uint64_t probes() const { return probes_; }
+  std::uint64_t reenables() const { return reenables_; }
+
+ private:
+  struct TagState {
+    std::deque<bool> window;  // true = torn down
+    std::size_t torn_down = 0;
+    bool disabled = false;
+    // Gate queries since the last probe while disabled.
+    std::size_t queries_since_probe = 0;
+    // A probe is in flight; its outcome decides re-enable vs stay dark.
+    bool probe_outstanding = false;
+  };
+
+  KillSwitchOptions options_;
+  std::map<std::string, TagState> tags_;
+  std::uint64_t disables_ = 0;
+  std::uint64_t probes_ = 0;
+  std::uint64_t reenables_ = 0;
+};
+
+// Heuristic over netsim close reasons: teardowns, injected faults, and
+// protocol errors are abnormal; "load complete" and friends are not.
+bool abnormal_close(const std::string& reason);
+
+}  // namespace origin::cdn

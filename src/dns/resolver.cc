@@ -34,6 +34,32 @@ Answer Resolver::resolve(const std::string& name, Family family,
   ++stats_.recursive_queries;
   if (params_.transport == Transport::kDo53) ++stats_.plaintext_exposures;
 
+  if (params_.fault_servfail_rate > 0.0 || params_.fault_timeout_rate > 0.0) {
+    // Same pure-hash roll the netsim fault injector uses: a function of
+    // (fault_seed, name, this resolver's attempt count for the name), so
+    // schedules replay bit-identically regardless of thread interleaving.
+    const std::uint64_t h = origin::util::fnv1a64_mix(
+        origin::util::fnv1a64_mix(params_.fault_seed, 0xD0F417ULL),
+        origin::util::fnv1a64_mix(origin::util::fnv1a64(name),
+                                  fault_attempts_[name]++));
+    const double r = static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (r < params_.fault_servfail_rate) {
+      ++stats_.injected_servfails;
+      answer.injected_fault = true;
+      // SERVFAIL comes back about as fast as a real answer; not cached, so
+      // a backoff retry gets a fresh roll.
+      answer.latency =
+          params_.recursive_base * rng_.lognormal(0.0, params_.jitter_sigma);
+      return answer;
+    }
+    if (r < params_.fault_servfail_rate + params_.fault_timeout_rate) {
+      ++stats_.injected_timeouts;
+      answer.injected_fault = true;
+      answer.latency = params_.fault_timeout_latency;
+      return answer;
+    }
+  }
+
   const RecordType want =
       family == Family::kV4 ? RecordType::kA : RecordType::kAAAA;
   std::string current = name;

@@ -28,6 +28,9 @@ struct ResolverStats {
   std::uint64_t nxdomain = 0;
   // Queries whose name was visible in cleartext on the wire (§6.2).
   std::uint64_t plaintext_exposures = 0;
+  // Injected upstream failures (fault_servfail_rate / fault_timeout_rate).
+  std::uint64_t injected_servfails = 0;
+  std::uint64_t injected_timeouts = 0;
 };
 
 struct Answer {
@@ -36,6 +39,9 @@ struct Answer {
   std::string canonical_name;
   std::uint32_t ttl_seconds = 0;
   bool from_cache = false;
+  // True when the failure was injected by the fault plan (SERVFAIL or
+  // upstream timeout) rather than being an authoritative NXDOMAIN.
+  bool injected_fault = false;
   origin::util::Duration latency;
 };
 
@@ -48,6 +54,16 @@ class Resolver {
     double jitter_sigma = 0.6;
     Transport transport = Transport::kDo53;
     int max_cname_depth = 8;
+    // Deterministic fault injection: each upstream query rolls a hash of
+    // (fault_seed, name, per-name attempt index) against these rates —
+    // mirroring netsim::FaultConfig's dns_* knobs without a dependency on
+    // the netsim layer. Injected failures are NOT negative-cached, so a
+    // retry after backoff re-queries upstream like a real stub resolver.
+    double fault_servfail_rate = 0.0;
+    double fault_timeout_rate = 0.0;
+    std::uint64_t fault_seed = 0;
+    origin::util::Duration fault_timeout_latency =
+        origin::util::Duration::seconds(5);
   };
 
   // Resolvers are per-page (fresh_session) and the page seed determines
@@ -83,6 +99,9 @@ class Resolver {
   // Per-name upstream query count: a TTL-expired re-query advances this
   // resolver's window without touching any shared state.
   std::map<std::string, std::uint64_t> upstream_queries_;
+  // Per-name fault roll count, advanced on every upstream attempt so a
+  // retried query gets an independent (but still deterministic) roll.
+  std::map<std::string, std::uint64_t> fault_attempts_;
   std::map<std::string, CacheEntry> cache_;
   ResolverStats stats_;
 };

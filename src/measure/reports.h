@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "dataset/generator.h"
+#include "netsim/faults.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "web/har.h"
@@ -75,6 +76,31 @@ class DatasetReport {
   std::vector<double> dns_per_page_;
   std::vector<double> tls_per_page_;
   std::vector<double> requests_per_page_;
+};
+
+// Aggregates per-load RobustnessStats into the degradation summary the
+// fault-ablation bench prints: completion rate, retry/backoff volume, and
+// the teardown-reason breakdown.
+class RobustnessReport {
+ public:
+  void add(const netsim::RobustnessStats& stats, bool complete, double plt_ms);
+
+  origin::util::Table table() const;
+
+  double completion_rate() const {
+    return loads_ == 0
+               ? 1.0
+               : static_cast<double>(completed_) / static_cast<double>(loads_);
+  }
+  const netsim::RobustnessStats& totals() const { return totals_; }
+  std::uint64_t loads() const { return loads_; }
+  const std::vector<double>& plt_ms() const { return plt_ms_; }
+
+ private:
+  netsim::RobustnessStats totals_;
+  std::uint64_t loads_ = 0;
+  std::uint64_t completed_ = 0;
+  std::vector<double> plt_ms_;
 };
 
 }  // namespace origin::measure

@@ -1,11 +1,20 @@
 // Concrete middleboxes used by the experiments.
+//
+// The hostile ones parameterize the §6.7 incident family: devices that key
+// decisions on HTTP/2 frame types (teardown-on-ORIGIN, teardown-on-unknown),
+// reorder frames in flight, or enforce that every request's :authority
+// matches the connection's first one (anti-domain-fronting DPI — the
+// middlebox behaviour that makes coalescing itself the trigger).
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <set>
 #include <string>
+#include <utility>
 
 #include "h2/frame.h"
+#include "hpack/hpack.h"
 #include "netsim/network.h"
 
 namespace origin::netsim {
@@ -14,13 +23,16 @@ namespace origin::netsim {
 // everything (the baseline that proves inspection alone breaks nothing).
 class PassiveInspector : public Middlebox {
  public:
-  Verdict inspect(std::span<const std::uint8_t> bytes, bool to_server) override;
+  Verdict inspect(std::uint64_t connection_id,
+                  std::span<const std::uint8_t> bytes, bool to_server) override;
   std::string name() const override { return "passive-inspector"; }
   std::uint64_t frames_seen() const { return frames_seen_; }
 
  private:
-  h2::FrameParser to_server_parser_;
-  h2::FrameParser to_client_parser_;
+  // One parser per (connection, direction): a middlebox instance sees every
+  // connection of its client, and interleaved byte streams would otherwise
+  // garble a single parser.
+  std::map<std::pair<std::uint64_t, bool>, h2::FrameParser> parsers_;
   std::uint64_t frames_seen_ = 0;
 };
 
@@ -35,14 +47,74 @@ class StrictFrameMiddlebox : public Middlebox {
   // Frame types the agent recognizes (and therefore forwards).
   void add_known_type(std::uint8_t type) { known_types_.insert(type); }
 
-  Verdict inspect(std::span<const std::uint8_t> bytes, bool to_server) override;
+  Verdict inspect(std::uint64_t connection_id,
+                  std::span<const std::uint8_t> bytes, bool to_server) override;
   std::string name() const override { return "strict-av-agent"; }
   std::uint64_t teardowns() const { return teardowns_; }
 
  private:
   std::set<std::uint8_t> known_types_;
-  h2::FrameParser to_server_parser_;
-  h2::FrameParser to_client_parser_;
+  std::map<std::pair<std::uint64_t, bool>, h2::FrameParser> parsers_;
+  std::uint64_t teardowns_ = 0;
+};
+
+// The inverse parameterization: tears down on an explicit list of frame
+// types and forwards everything else — teardown-on-ORIGIN is
+// TeardownOnTypeMiddlebox({0x0c}), a device that tolerates arbitrary
+// unknown frames but specifically hates the coalescing advertisement.
+class TeardownOnTypeMiddlebox : public Middlebox {
+ public:
+  explicit TeardownOnTypeMiddlebox(std::set<std::uint8_t> teardown_types,
+                                   std::string name = "type-filter-agent");
+
+  Verdict inspect(std::uint64_t connection_id,
+                  std::span<const std::uint8_t> bytes, bool to_server) override;
+  std::string name() const override { return name_; }
+  std::uint64_t teardowns() const { return teardowns_; }
+
+ private:
+  std::set<std::uint8_t> teardown_types_;
+  std::string name_;
+  std::map<std::pair<std::uint64_t, bool>, h2::FrameParser> parsers_;
+  std::uint64_t teardowns_ = 0;
+};
+
+// Swaps the first two complete frames inside a delivery (a buggy
+// load-balancer reassembly path). Never tears down by itself; the damage
+// surfaces as an h2 protocol error on the receiving endpoint, exercising
+// the client's GOAWAY/re-dispatch degradation path.
+class FrameReorderingMiddlebox : public Middlebox {
+ public:
+  Verdict inspect(std::uint64_t connection_id,
+                  std::span<const std::uint8_t> bytes, bool to_server) override;
+  void transform(std::uint64_t connection_id, origin::util::Bytes& bytes,
+                 bool to_server) override;
+  std::string name() const override { return "frame-reordering-lb"; }
+  std::uint64_t reorders() const { return reorders_; }
+
+ private:
+  std::uint64_t reorders_ = 0;
+};
+
+// Anti-domain-fronting DPI: pins each connection to the :authority of its
+// first request and kills the connection when a later request names a
+// different one — exactly the device for which a coalesced request IS the
+// anomaly. Drives the client's avoid-list: after one teardown the pair
+// must go to a dedicated connection and never re-coalesce.
+class AuthorityPinningMiddlebox : public Middlebox {
+ public:
+  Verdict inspect(std::uint64_t connection_id,
+                  std::span<const std::uint8_t> bytes, bool to_server) override;
+  std::string name() const override { return "authority-pinning-proxy"; }
+  std::uint64_t teardowns() const { return teardowns_; }
+
+ private:
+  struct ConnState {
+    h2::FrameParser parser;
+    hpack::Decoder decoder;
+    std::string pinned_authority;
+  };
+  std::map<std::uint64_t, ConnState> connections_;
   std::uint64_t teardowns_ = 0;
 };
 

@@ -22,6 +22,8 @@
 
 namespace origin::netsim {
 
+class FaultInjector;
+
 struct LinkParams {
   origin::util::Duration one_way = origin::util::Duration::millis(15);
   double bandwidth_bytes_per_sec = 12.5e6;  // ~100 Mbit/s
@@ -49,6 +51,10 @@ class TcpEndpoint {
   void set_on_close(std::function<void(const std::string&)> callback);
 
   dns::IpAddress peer_address() const;
+  // Tag of the client that opened this connection ("" once closed and
+  // reaped). Lets servers key per-client state, e.g. the ORIGIN
+  // kill-switch's teardown windows.
+  std::string client_tag() const;
   std::uint64_t connection_id() const { return connection_id_; }
 
  private:
@@ -59,22 +65,39 @@ class TcpEndpoint {
 };
 
 // Inspects bytes in flight. Returning kTeardown kills the connection, which
-// both sides observe as an abrupt close.
+// both sides observe as an abrupt close. One Middlebox instance sees every
+// connection of the client it is installed for, so implementations key any
+// parser state on `connection_id`.
 class Middlebox {
  public:
   enum class Verdict { kForward, kTeardown };
   virtual ~Middlebox() = default;
   // `to_server` is true for client->server bytes.
-  virtual Verdict inspect(std::span<const std::uint8_t> bytes,
+  virtual Verdict inspect(std::uint64_t connection_id,
+                          std::span<const std::uint8_t> bytes,
                           bool to_server) = 0;
+  // Optional in-flight mutation (reordering/garbling devices); runs after
+  // every middlebox voted kForward. Default leaves the bytes alone.
+  virtual void transform(std::uint64_t connection_id,
+                         origin::util::Bytes& bytes, bool to_server) {
+    (void)connection_id;
+    (void)bytes;
+    (void)to_server;
+  }
   virtual std::string name() const = 0;
 };
 
 struct NetworkStats {
   std::uint64_t tcp_handshakes = 0;
+  // Refused connects — no listener on the address, or an injected refusal;
+  // both count here so callers see one consistent failure signal.
   std::uint64_t connect_failures = 0;
   std::uint64_t middlebox_teardowns = 0;
   std::uint64_t bytes_sent = 0;
+  std::uint64_t injected_faults = 0;
+  // Every teardown's close reason, verbatim — the middlebox name is no
+  // longer lost between Network::teardown and WireLoadResult.errors.
+  std::map<std::string, std::uint64_t> teardown_reasons;
 };
 
 class Network {
@@ -99,6 +122,15 @@ class Network {
   // user runs endpoint security software). Empty tag = all clients.
   void install_middlebox(std::string client_tag,
                          std::shared_ptr<Middlebox> middlebox);
+  // Removes every middlebox installed for the tag (the §6.7 epilogue: the
+  // vendor ships a fixed agent). Existing connections keep the boxes they
+  // were established with.
+  void uninstall_middleboxes(const std::string& client_tag);
+
+  // Non-owning: the injector must outlive the network. Null disables
+  // injection (the default).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
 
   // TCP connect: SYN/SYN-ACK costs one RTT; the callback then receives the
   // client-side endpoint, or an error if nothing listens on `server`.
@@ -127,6 +159,10 @@ class Network {
     // queue behind each other on the link.
     origin::util::SimTime client_clear_at;
     origin::util::SimTime server_clear_at;
+    // Per-direction delivery counters: the injector pins a mid-stream fault
+    // to (direction, event_index) so fault schedules replay exactly.
+    std::uint32_t client_events = 0;
+    std::uint32_t server_events = 0;
   };
 
   Connection* find(std::uint64_t id);
@@ -140,6 +176,8 @@ class Network {
   std::map<std::string, std::vector<std::shared_ptr<Middlebox>>> middleboxes_;
   std::map<std::uint64_t, Connection> connections_;
   std::uint64_t next_connection_id_ = 1;
+  std::uint64_t connect_attempts_ = 0;
+  FaultInjector* injector_ = nullptr;
   NetworkStats stats_;
 };
 

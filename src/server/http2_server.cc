@@ -31,6 +31,7 @@ void Http2Server::accept(netsim::TcpEndpoint endpoint) {
   ++stats_.connections;
   auto session = std::make_shared<Session>();
   session->endpoint = endpoint;
+  session->client_tag = endpoint.client_tag();
   h2::Origin server_origin;  // servers do not consume the origin set
   session->connection = std::make_shared<h2::Connection>(
       h2::Connection::Role::kServer, server_origin, config_.settings);
@@ -44,17 +45,40 @@ void Http2Server::accept(netsim::TcpEndpoint endpoint) {
   session->connection->set_callbacks(std::move(callbacks));
 
   // First flight: SETTINGS (already queued) plus the ORIGIN frame, which
-  // RFC 8336 encourages sending as early as possible on stream 0.
+  // RFC 8336 encourages sending as early as possible on stream 0 — unless
+  // the deployment's kill-switch has disabled ORIGIN for this client tag.
   if (!config_.origin_set.empty()) {
-    (void)session->connection->submit_origin(config_.origin_set);
-    ++stats_.origin_frames_sent;
+    if (!config_.origin_gate || config_.origin_gate(session->client_tag)) {
+      (void)session->connection->submit_origin(config_.origin_set);
+      ++stats_.origin_frames_sent;
+      session->origin_sent = true;
+    } else {
+      ++stats_.origin_frames_suppressed;
+    }
   }
 
   session->endpoint.set_on_receive(
       [this, raw](std::span<const std::uint8_t> bytes) {
-        (void)raw->connection->receive(bytes);
+        auto status = raw->connection->receive(bytes);
+        // Flush regardless: a failed receive queues a GOAWAY for the peer.
         flush(*raw);
+        if (!status.ok()) {
+          ++stats_.h2_protocol_errors;
+          if (raw->endpoint.open()) {
+            raw->endpoint.close("h2 protocol error: " +
+                                status.error().message);
+          }
+        }
       });
+  session->endpoint.set_on_close([this, raw](const std::string& reason) {
+    if (config_.close_feedback) {
+      config_.close_feedback(raw->client_tag, raw->origin_sent, reason);
+    }
+    // Reap the session; the server otherwise accumulates dead connections
+    // for its whole lifetime.
+    std::erase_if(sessions_,
+                  [raw](const auto& session) { return session.get() == raw; });
+  });
   flush(*session);
   sessions_.push_back(std::move(session));
 }

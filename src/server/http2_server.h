@@ -42,6 +42,15 @@ struct ServerConfig {
   // disables the extension (a pre-RFC-8336 server).
   std::vector<std::string> origin_set;
   h2::Settings settings;
+  // Per-connection gate consulted before emitting the ORIGIN frame; lets a
+  // deployment suppress the advertisement for client tags whose path keeps
+  // tearing connections down (the §6.7 kill-switch). Null = always send.
+  std::function<bool(const std::string& client_tag)> origin_gate;
+  // Fired when a connection closes, with the verbatim close reason and
+  // whether ORIGIN was sent on it — the kill-switch's observation stream.
+  std::function<void(const std::string& client_tag, bool origin_sent,
+                     const std::string& reason)>
+      close_feedback;
 };
 
 class Http2Server {
@@ -56,6 +65,16 @@ class Http2Server {
   // CDN deployment did between experiments).
   void set_origin_set(std::vector<std::string> origins);
 
+  // Runtime wiring for the ORIGIN kill-switch (cdn::OriginKillSwitch).
+  void set_origin_gate(std::function<bool(const std::string&)> gate) {
+    config_.origin_gate = std::move(gate);
+  }
+  void set_close_feedback(
+      std::function<void(const std::string&, bool, const std::string&)>
+          feedback) {
+    config_.close_feedback = std::move(feedback);
+  }
+
   // Binds the server to an address on the simulated network.
   void listen(netsim::Network& network, dns::IpAddress address);
 
@@ -66,6 +85,9 @@ class Http2Server {
     std::uint64_t responses_404 = 0;
     std::uint64_t responses_421 = 0;
     std::uint64_t origin_frames_sent = 0;
+    // Connections where the origin_gate vetoed the advertisement.
+    std::uint64_t origin_frames_suppressed = 0;
+    std::uint64_t h2_protocol_errors = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -73,6 +95,10 @@ class Http2Server {
   struct Session {
     std::shared_ptr<h2::Connection> connection;
     netsim::TcpEndpoint endpoint;
+    // Captured at accept time: the endpoint loses its tag once the
+    // connection is reaped, but close_feedback still needs it.
+    std::string client_tag;
+    bool origin_sent = false;
   };
 
   void accept(netsim::TcpEndpoint endpoint);

@@ -15,6 +15,7 @@
 #include "hpack/hpack.h"
 #include "util/bytes.h"
 #include "util/json.h"
+#include "netsim/faults.h"
 #include "web/har_json.h"
 
 namespace {
@@ -224,6 +225,49 @@ TEST(FuzzRegressionHar, ClampToInt64Saturates) {
             std::numeric_limits<std::int64_t>::min());
   EXPECT_EQ(origin::util::clamp_to_int64(std::nan("")), 0);
   EXPECT_EQ(origin::util::clamp_to_int64(12345.0), 12345);
+}
+
+
+// --- Fault-plan config parser --------------------------------------------
+
+TEST(FuzzRegressionFaultPlan, SeedMaxValueRoundTrips) {
+  // corpus: fault_plan/seed_max.txt — u64 max must not overflow or wrap.
+  auto config =
+      origin::netsim::FaultConfig::parse("seed=18446744073709551615,corrupt=1");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->seed, 18446744073709551615ull);
+  auto reparsed = origin::netsim::FaultConfig::parse(config->serialize());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->serialize(), config->serialize());
+}
+
+TEST(FuzzRegressionFaultPlan, RateOutOfRangeRejected) {
+  // corpus: fault_plan/rate_out_of_range.txt.
+  EXPECT_FALSE(origin::netsim::FaultConfig::parse("rst=1.5").ok());
+}
+
+TEST(FuzzRegressionFaultPlan, NanRateRejected) {
+  // corpus: fault_plan/rate_nan.txt — NaN compares false against bounds.
+  EXPECT_FALSE(origin::netsim::FaultConfig::parse("rst=nan").ok());
+}
+
+TEST(FuzzRegressionFaultPlan, MissingEqualsRejected) {
+  // corpus: fault_plan/missing_equals.txt.
+  EXPECT_FALSE(origin::netsim::FaultConfig::parse("rst").ok());
+}
+
+TEST(FuzzRegressionFaultPlan, UnknownKeyRejected) {
+  // corpus: fault_plan/unknown_key.txt.
+  EXPECT_FALSE(origin::netsim::FaultConfig::parse("bogus=0.1").ok());
+}
+
+TEST(FuzzRegressionFaultPlan, WhitespaceAndTrailingCommaAccepted) {
+  // corpus: fault_plan/whitespace_commas.txt.
+  auto config = origin::netsim::FaultConfig::parse(
+      " connect_timeout=0.5 , truncate=0.5 ,");
+  ASSERT_TRUE(config.ok());
+  EXPECT_DOUBLE_EQ(config->connect_timeout, 0.5);
+  EXPECT_DOUBLE_EQ(config->truncate, 0.5);
 }
 
 }  // namespace

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include "browser/environment.h"
+#include "browser/wire_client.h"
 #include "h2/connection.h"
 #include "netsim/middleboxes.h"
 #include "netsim/network.h"
 #include "netsim/simulator.h"
+#include "server/http2_server.h"
 
 namespace origin::netsim {
 namespace {
@@ -323,6 +326,179 @@ TEST(Middleboxes, StrictAgentForwardsAfterFix) {
   EXPECT_EQ(agent->teardowns(), 0u);
   ASSERT_NE(harness.client_conn, nullptr);
   EXPECT_TRUE(harness.client_conn->origin_set().received_origin_frame());
+}
+
+TEST(Middleboxes, TeardownOnTypeKillsOnlyListedTypes) {
+  // teardown-on-ORIGIN: tolerates arbitrary unknown frames, hates 0x0c.
+  auto agent = std::make_shared<TeardownOnTypeMiddlebox>(
+      std::set<std::uint8_t>{0x0c});
+  H2OverNet harness;
+  harness.start(agent);
+  harness.sim.run_until_idle();
+  EXPECT_TRUE(harness.client_closed);
+  EXPECT_EQ(agent->teardowns(), 1u);
+  EXPECT_EQ(harness.net.stats().middlebox_teardowns, 1u);
+}
+
+TEST(Middleboxes, TeardownOnTypeForwardsUnlistedTypes) {
+  // The same device configured against ALTSVC only: ORIGIN sails through
+  // even though it is just as unknown to the agent.
+  auto agent = std::make_shared<TeardownOnTypeMiddlebox>(
+      std::set<std::uint8_t>{0x0a});
+  H2OverNet harness;
+  harness.start(agent);
+  harness.sim.run_until_idle();
+  EXPECT_FALSE(harness.client_closed);
+  EXPECT_EQ(agent->teardowns(), 0u);
+  ASSERT_NE(harness.client_conn, nullptr);
+  EXPECT_TRUE(harness.client_conn->origin_set().received_origin_frame());
+}
+
+TEST(Middleboxes, FrameReorderingDamagesWithoutTearingDown) {
+  auto lb = std::make_shared<FrameReorderingMiddlebox>();
+  H2OverNet harness;
+  harness.start(lb);
+  harness.sim.run_until_idle();
+  // The LB swapped frames somewhere but never killed the connection
+  // itself; any damage surfaces as a protocol error at an endpoint.
+  EXPECT_GE(lb->reorders(), 1u);
+  EXPECT_EQ(harness.net.stats().middlebox_teardowns, 0u);
+}
+
+TEST(Middleboxes, AuthorityPinningAllowsSameAuthorityReuse) {
+  auto proxy = std::make_shared<AuthorityPinningMiddlebox>();
+  H2OverNet harness;
+  harness.start(proxy);
+  harness.sim.run_until_idle();
+  ASSERT_NE(harness.client_conn, nullptr);
+  (void)harness.client_conn->submit_request({{":method", "GET"},
+                                             {":scheme", "https"},
+                                             {":authority", "www.example.com"},
+                                             {":path", "/second"}},
+                                            true);
+  harness.client_end->send(harness.client_conn->take_output());
+  harness.sim.run_until_idle();
+  EXPECT_FALSE(harness.client_closed);
+  EXPECT_EQ(proxy->teardowns(), 0u);
+}
+
+TEST(Middleboxes, AuthorityPinningTearsDownCrossAuthorityRequest) {
+  // A coalesced request is exactly what anti-fronting DPI flags: same
+  // connection, different :authority.
+  auto proxy = std::make_shared<AuthorityPinningMiddlebox>();
+  H2OverNet harness;
+  harness.start(proxy);
+  harness.sim.run_until_idle();
+  ASSERT_NE(harness.client_conn, nullptr);
+  EXPECT_FALSE(harness.client_closed);
+  (void)harness.client_conn->submit_request({{":method", "GET"},
+                                             {":scheme", "https"},
+                                             {":authority", "static.example.com"},
+                                             {":path", "/app.js"}},
+                                            true);
+  harness.client_end->send(harness.client_conn->take_output());
+  harness.sim.run_until_idle();
+  EXPECT_TRUE(harness.client_closed);
+  EXPECT_EQ(proxy->teardowns(), 1u);
+}
+
+// --- Avoid-list degradation against authority-pinning DPI ---
+
+// Full wire-client load through the pinning proxy. The resource chain
+// forces two coalescing opportunities across the same host pair:
+//   r0 www /            -> first connection, pinned to www
+//   r1 static /app.js   -> coalesces onto r0's connection: teardown #1
+//   r2 www /logo.png    -> www connection is gone; the pool offers the
+//                          static retry connection. With the avoid-list the
+//                          pair is banned and r2 gets a dedicated
+//                          connection; without it, teardown #2.
+//   r3 static /style.css-> same-host reuse either way.
+browser::WireLoadResult run_pinned_load(
+    bool use_avoid_list, std::shared_ptr<AuthorityPinningMiddlebox> proxy) {
+  Simulator sim;
+  Network net(sim);
+  browser::Environment env;
+  auto cert = *env.default_ca().issue(
+      "www.site.com", {"www.site.com", "static.site.com"},
+      SimTime::from_micros(0));
+  browser::Service service;
+  service.name = "cdn";
+  service.asn = 13335;
+  service.provider = "ExampleCDN";
+  service.addresses = {IpAddress::v4(0x0A000001)};
+  service.served_hostnames = {"www.site.com", "static.site.com"};
+  service.certificate = std::make_shared<tls::Certificate>(cert);
+  env.add_service(std::move(service));
+
+  server::ServerConfig config;
+  config.origin_set = {"https://www.site.com", "https://static.site.com"};
+  server::Http2Server server(config);
+  server.set_certificate(cert);
+  auto handler = [](const std::string&) {
+    server::Response response;
+    response.body = origin::util::from_string("ok");
+    return response;
+  };
+  server.add_vhost("www.site.com", handler);
+  server.add_vhost("static.site.com", handler);
+  server.listen(net, IpAddress::v4(0x0A000001));
+
+  net.install_middlebox("wire-client", proxy);
+
+  web::Webpage page;
+  page.tranco_rank = 7;
+  page.base_hostname = "www.site.com";
+  const char* hosts[] = {"www.site.com", "static.site.com", "www.site.com",
+                         "static.site.com"};
+  const char* paths[] = {"/", "/app.js", "/logo.png", "/style.css"};
+  for (int i = 0; i < 4; ++i) {
+    web::Resource resource;
+    resource.hostname = hosts[i];
+    resource.path = paths[i];
+    if (i == 0) {
+      resource.mode = web::RequestMode::kNavigation;
+    } else {
+      resource.parent = i - 1;
+      resource.discovery_cpu_ms = 1.0;
+    }
+    page.resources.push_back(resource);
+  }
+
+  browser::LoaderOptions options;
+  options.policy = "origin-frame";
+  browser::DegradationOptions degradation;
+  degradation.enabled = true;
+  degradation.use_avoid_list = use_avoid_list;
+  browser::WireClient client(env, net, options, degradation);
+  browser::WireLoadResult result;
+  bool done = false;
+  client.load(page, [&](browser::WireLoadResult r) {
+    result = std::move(r);
+    done = true;
+  });
+  sim.run_until_idle();
+  EXPECT_TRUE(done);
+  return result;
+}
+
+TEST(Middleboxes, AvoidListPreventsRepeatTeardownOnSameHostPair) {
+  auto guarded_proxy = std::make_shared<AuthorityPinningMiddlebox>();
+  auto guarded = run_pinned_load(/*use_avoid_list=*/true, guarded_proxy);
+  EXPECT_TRUE(guarded.complete);
+  EXPECT_TRUE(guarded.har.success)
+      << (guarded.errors.empty() ? "(no errors)" : guarded.errors.front());
+  // Exactly one teardown: the pair lands on the avoid-list and every later
+  // cross-host opportunity is routed to a dedicated connection.
+  EXPECT_EQ(guarded_proxy->teardowns(), 1u);
+  EXPECT_GE(guarded.robustness.avoid_list_entries, 1u);
+  EXPECT_GE(guarded.robustness.avoided_coalescings, 1u);
+  EXPECT_GE(guarded.robustness.redispatched_streams, 1u);
+
+  auto naive_proxy = std::make_shared<AuthorityPinningMiddlebox>();
+  auto naive = run_pinned_load(/*use_avoid_list=*/false, naive_proxy);
+  EXPECT_TRUE(naive.complete);
+  // Without the avoid-list the client keeps walking into the proxy.
+  EXPECT_GE(naive_proxy->teardowns(), 2u);
 }
 
 }  // namespace

@@ -47,6 +47,14 @@
 //                         synchronization primitive. Use std::atomic for
 //                         order-independent counters or a util::Mutex.
 //
+//   close-reason-handled  In src/browser, src/cdn, and src/server, every
+//                         set_on_close registration must bind the close
+//                         reason (`const std::string& <name>`). The reason
+//                         string carries the teardown cause (middlebox
+//                         name, injected fault, GOAWAY) that the
+//                         degradation and kill-switch layers key on; an
+//                         unnamed parameter silently drops it.
+//
 //   guarded-by-annotation members declared in the block following a mutex
 //                         member must carry ORIGIN_GUARDED_BY /
 //                         ORIGIN_PT_GUARDED_BY (sync primitives, immutable
@@ -96,6 +104,12 @@ bool in_util_dir(const std::filesystem::path& rel) {
   return first_component(rel) == "util";
 }
 
+// Layers where a dropped close reason loses degradation/kill-switch signal.
+bool in_close_reason_dir(const std::filesystem::path& rel) {
+  const std::string first = first_component(rel);
+  return first == "browser" || first == "cdn" || first == "server";
+}
+
 bool allows(const std::string& line, const std::string& rule) {
   return line.find("lint:allow(" + rule + ")") != std::string::npos;
 }
@@ -120,8 +134,14 @@ class Linter {
       io_error_ = true;
       return;
     }
+    // Read the whole file up front: the close-reason rule needs lookahead
+    // (a lambda's parameter list may wrap onto the following lines).
+    std::vector<std::string> lines;
+    for (std::string raw; std::getline(in, raw);) lines.push_back(raw);
+
     const bool header = path.extension() == ".h";
     const bool parser_dir = in_parser_dir(rel);
+    const bool close_reason_dir = in_close_reason_dir(rel);
     const bool is_result_header = rel == std::filesystem::path("util/result.h");
     const bool is_check_header = rel == std::filesystem::path("util/check.h");
 
@@ -147,15 +167,17 @@ class Linter {
         R"(^\s*(const\s+|static\s+|constexpr\s+|mutable\s+)*[\w:]+(<[^;()]*>)?(\s*[*&])?\s+\w+\s*(=\s*[^;()]*)?(\{[^;()]*\})?\s*;)");
     static const std::regex access_specifier(R"(^\s*(public|private|protected)\s*:)");
 
+    static const std::regex close_reason_bound(
+        R"(const\s+std::string&\s*[A-Za-z_])");
+
     bool saw_nodiscard_result = false;
     bool saw_nodiscard_status = false;
     bool in_guarded_block = false;
 
-    std::string line;
     std::string previous;
-    std::size_t lineno = 0;
-    while (std::getline(in, line)) {
-      ++lineno;
+    for (std::size_t index = 0; index < lines.size(); ++index) {
+      const std::string& line = lines[index];
+      const std::size_t lineno = index + 1;
       const bool comment = is_comment_line(line);
 
       if (!comment && !is_check_header && !allows(line, "no-bare-assert") &&
@@ -224,6 +246,27 @@ class Linter {
         report(rel, lineno, "no-thread-detach",
                "detached threads outlive the state they touch; keep the "
                "handle and join");
+      }
+
+      // close-reason-handled: the handler's parameter list (this line plus
+      // up to two continuation lines) must name the reason string. The
+      // netsim declaration itself (`void set_on_close(...)`) has no '['.
+      if (close_reason_dir && !comment &&
+          !allows(line, "close-reason-handled") &&
+          line.find("set_on_close(") != std::string::npos &&
+          line.find('[') != std::string::npos) {
+        std::string window = line;
+        for (std::size_t ahead = 1; ahead <= 2 && index + ahead < lines.size();
+             ++ahead) {
+          window += ' ';
+          window += lines[index + ahead];
+        }
+        if (!std::regex_search(window, close_reason_bound)) {
+          report(rel, lineno, "close-reason-handled",
+                 "set_on_close handlers in browser/cdn/server must bind the "
+                 "close reason (const std::string& reason) — it carries the "
+                 "teardown cause the degradation layer keys on");
+        }
       }
 
       if (!comment && !allows(line, "no-volatile-sync") &&
