@@ -9,6 +9,7 @@
 // multi-core host; on one core the interesting column is the digest.
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -110,33 +111,45 @@ int main(int argc, char** argv) {
   std::printf("\nHAR digest identical across thread counts: %s\n",
               deterministic ? "yes" : "NO — DETERMINISM VIOLATION");
 
-  std::FILE* out = std::fopen("BENCH_pipeline.json", "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_pipeline.json\n");
-    return 1;
-  }
-  std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"bench\": \"pipeline\",\n");
-  std::fprintf(out, "  \"sites\": %zu,\n", args.sites);
-  std::fprintf(out, "  \"seed\": %llu,\n",
-               static_cast<unsigned long long>(args.seed));
-  std::fprintf(out, "  \"pages\": %zu,\n", runs.front().pages);
-  std::fprintf(out, "  \"deterministic\": %s,\n",
-               deterministic ? "true" : "false");
-  std::fprintf(out, "  \"runs\": [\n");
+  std::string json;
+  char line[256];
+  auto append = [&](const char* fmt, auto... values) {
+    std::snprintf(line, sizeof(line), fmt, values...);
+    json += line;
+  };
+  append("{\n");
+  append("  \"bench\": \"pipeline\",\n");
+  append("  \"sites\": %zu,\n", args.sites);
+  append("  \"seed\": %llu,\n", static_cast<unsigned long long>(args.seed));
+  append("  \"pages\": %zu,\n", runs.front().pages);
+  append("  \"deterministic\": %s,\n", deterministic ? "true" : "false");
+  append("  \"runs\": [\n");
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const RunResult& r = runs[i];
-    std::fprintf(out,
-                 "    {\"threads\": %zu, \"generate_ms\": %.3f, "
-                 "\"load_ms\": %.3f, \"model_ms\": %.3f, \"total_ms\": %.3f, "
-                 "\"speedup_vs_serial\": %.3f, \"har_digest\": \"%016llx\"}%s\n",
-                 r.threads, r.generate_ms, r.load_ms, r.model_ms, r.total_ms(),
-                 runs.front().total_ms() / r.total_ms(),
-                 static_cast<unsigned long long>(r.har_digest),
-                 i + 1 < runs.size() ? "," : "");
+    append("    {\"threads\": %zu, \"generate_ms\": %.3f, "
+           "\"load_ms\": %.3f, \"model_ms\": %.3f, \"total_ms\": %.3f, "
+           "\"speedup_vs_serial\": %.3f, \"har_digest\": \"%016llx\"}%s\n",
+           r.threads, r.generate_ms, r.load_ms, r.model_ms, r.total_ms(),
+           runs.front().total_ms() / r.total_ms(),
+           static_cast<unsigned long long>(r.har_digest),
+           i + 1 < runs.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
-  std::printf("wrote BENCH_pipeline.json\n");
+  append("  ]\n}\n");
+
+  // Working directory first, then the repo-root mirror the perf leg tracks.
+  std::vector<std::string> outputs = {"BENCH_pipeline.json"};
+#ifdef ORIGIN_REPO_ROOT
+  outputs.push_back(std::string(ORIGIN_REPO_ROOT) + "/BENCH_pipeline.json");
+#endif
+  for (const auto& path : outputs) {
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("wrote %s\n", path.c_str());
+  }
   return deterministic ? 0 : 1;
 }

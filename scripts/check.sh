@@ -16,9 +16,13 @@
 #      pipeline determinism + fault-schedule determinism) with
 #      ORIGIN_THREADS=8, so every shard path runs contended under the race
 #      detector
+#   7. perf: Release build of the two perf benches; each emits its
+#      BENCH_*.json at the repo root and exits non-zero when a gate fails
+#      (bench_perf_model: fused replay >= 3x the string-keyed baseline and
+#      no >10% regression against the committed BENCH_model.json)
 #
 # Usage: scripts/check.sh [--quick]
-#   --quick   tier-1 + lint only; skip the sanitizer rebuilds.
+#   --quick   tier-1 + lint only; skip the sanitizer rebuilds and perf leg.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,10 +37,10 @@ run_suite() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
-echo "==> [1/6] tier-1 build + ctest (lint + fuzz replays included)"
+echo "==> [1/7] tier-1 build + ctest (lint + fuzz replays included)"
 run_suite build
 
-echo "==> [2/6] clang-tidy (parser directories)"
+echo "==> [2/7] clang-tidy (parser directories)"
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   git ls-files 'src/h2/*.cc' 'src/hpack/*.cc' 'src/web/*.cc' 'src/util/*.cc' |
@@ -50,23 +54,29 @@ if [[ "$QUICK" == "1" ]]; then
   exit 0
 fi
 
-echo "==> [3/6] AddressSanitizer preset"
+echo "==> [3/7] AddressSanitizer preset"
 run_suite build-asan -DORIGIN_SANITIZE=address
 
-echo "==> [4/6] fault matrix (wire suites at 0/5/20% injected faults, ASan)"
+echo "==> [4/7] fault matrix (wire suites at 0/5/20% injected faults, ASan)"
 for rate in 0 0.05 0.20; do
   echo "--- ORIGIN_FAULT_RATE=$rate"
   ORIGIN_FAULT_RATE="$rate" ctest --test-dir build-asan --output-on-failure \
     -j "$JOBS" -R 'FaultInjection|FaultDeterminism|KillSwitch|WireClient|Http2Server|Middleboxes'
 done
 
-echo "==> [5/6] UndefinedBehaviorSanitizer preset"
+echo "==> [5/7] UndefinedBehaviorSanitizer preset"
 run_suite build-ubsan -DORIGIN_SANITIZE=undefined
 
-echo "==> [6/6] ThreadSanitizer preset (concurrency suites, 8 threads)"
+echo "==> [6/7] ThreadSanitizer preset (concurrency suites, 8 threads)"
 cmake -B build-tsan -S . -DORIGIN_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS"
 ORIGIN_THREADS=8 ctest --test-dir build-tsan --output-on-failure \
   -R 'ThreadPool|PipelineDeterminism|FaultDeterminism'
+
+echo "==> [7/7] perf gates (Release benches, repo-root BENCH_*.json)"
+cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-perf -j "$JOBS" --target bench_perf_pipeline bench_perf_model
+./build-perf/bench/bench_perf_pipeline
+./build-perf/bench/bench_perf_model
 
 echo "==> all checks passed"

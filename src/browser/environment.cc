@@ -29,7 +29,9 @@ Service& Environment::add_service(Service service) {
   Service& added = services_.back();
   const std::size_t index = services_.size() - 1;
   for (const auto& hostname : added.served_hostnames) {
-    host_to_service_.emplace(hostname, index);
+    // First registration wins, matching the previous std::map::emplace
+    // semantics for hostnames served by several deployments.
+    host_to_service_.emplace(hostnames_.intern(hostname), index);
     // One zone per registrable domain keeps longest-suffix resolution
     // working for sharded subdomains.
     const std::string apex = origin::util::registrable_domain(hostname);
@@ -56,14 +58,21 @@ Service& Environment::add_service(Service service) {
   return added;
 }
 
+std::size_t Environment::service_index(std::string_view hostname) const {
+  const util::SymbolId id = hostnames_.lookup(hostname);
+  if (id == util::kInvalidSymbol) return kNoService;
+  const std::size_t* index = host_to_service_.find(id);
+  return index == nullptr ? kNoService : *index;
+}
+
 Service* Environment::find_service(const std::string& hostname) {
-  auto it = host_to_service_.find(hostname);
-  return it == host_to_service_.end() ? nullptr : &services_[it->second];
+  const std::size_t index = service_index(hostname);
+  return index == kNoService ? nullptr : &services_[index];
 }
 
 const Service* Environment::find_service(const std::string& hostname) const {
-  auto it = host_to_service_.find(hostname);
-  return it == host_to_service_.end() ? nullptr : &services_[it->second];
+  const std::size_t index = service_index(hostname);
+  return index == kNoService ? nullptr : &services_[index];
 }
 
 void Environment::repoint_dns(const std::string& hostname,

@@ -10,7 +10,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -21,6 +20,8 @@
 #include "netsim/network.h"
 #include "tls/ca.h"
 #include "tls/certificate.h"
+#include "util/flat_map.h"
+#include "util/interner.h"
 #include "web/resource.h"
 
 namespace origin::browser {
@@ -51,6 +52,8 @@ struct Service {
 
 class Environment {
  public:
+  static constexpr std::size_t kNoService = static_cast<std::size_t>(-1);
+
   Environment();
 
   // Registers a service and creates DNS records for `hostname`s it serves.
@@ -58,6 +61,12 @@ class Environment {
 
   Service* find_service(const std::string& hostname);
   const Service* find_service(const std::string& hostname) const;
+
+  // Index into services() for the deployment serving `hostname`, or
+  // kNoService. Lock-free and safe to call concurrently with other
+  // readers; the corpus build interns all hostnames before any parallel
+  // phase reads them (DESIGN.md §10 determinism contract).
+  std::size_t service_index(std::string_view hostname) const;
 
   // Re-points every address record of `hostname` at `addresses` (used by
   // the IP-coalescing deployment, §5.2, and undone for §5.3).
@@ -73,16 +82,18 @@ class Environment {
                                     std::size_t max_sans = 100);
   tls::CertificateAuthority* find_ca(const std::string& name);
 
-  const std::map<std::string, std::size_t>& host_index() const {
-    return host_to_service_;
-  }
+  // Symbol table of every served hostname; the corpus layer reuses these
+  // ids instead of re-hashing hostname strings.
+  const util::Interner& hostnames() const { return hostnames_; }
+
   // Deque: service references stay valid as more services are added.
   std::deque<Service>& services() { return services_; }
   const std::deque<Service>& services() const { return services_; }
 
  private:
   std::deque<Service> services_;
-  std::map<std::string, std::size_t> host_to_service_;
+  util::Interner hostnames_;
+  util::FlatMap<util::SymbolId, std::size_t> host_to_service_;
   dns::AuthoritativeDns dns_;
   tls::TrustStore trust_store_;
   std::vector<std::unique_ptr<tls::CertificateAuthority>> cas_;

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
-#include <set>
+#include <string_view>
 
+#include "util/check.h"
+#include "util/flat_map.h"
 #include "util/thread_pool.h"
 
 namespace origin::dataset {
@@ -297,7 +298,9 @@ Corpus::SiteDraft Corpus::draft_site(std::size_t i, Rng site_rng,
                            options_.third_party_services_sigma),
         2.0, 80.0));
   }
-  std::set<std::string> chosen;
+  // Views into the destination tables, which are immutable by the time
+  // draft_site runs (built before build_sites).
+  util::FlatSet<std::string_view> chosen;
   while (chosen.size() < third_party_count &&
          chosen.size() <
              popular_destinations_.size() + tail_destinations_.size()) {
@@ -306,7 +309,7 @@ Corpus::SiteDraft Corpus::draft_site(std::size_t i, Rng site_rng,
         popular
             ? popular_destinations_[site_rng.weighted(weights.popular)]
             : tail_destinations_[site_rng.weighted(weights.tail)];
-    if (chosen.insert(dest.hostname).second) {
+    if (chosen.insert(dest.hostname)) {
       site.third_party_hosts.push_back(dest.hostname);
     }
   }
@@ -319,7 +322,9 @@ Corpus::SiteDraft Corpus::draft_site(std::size_t i, Rng site_rng,
   for (const auto& shard : site.shard_hostnames) hostnames.push_back(shard);
   if (provider.asn != 0) {
     service.asn = provider.asn;
-    const auto& pool = provider_pools_.at(provider.organization);
+    const auto* pool_entry = provider_pools_.find(provider.organization);
+    ORIGIN_CHECK(pool_entry != nullptr, "draft_site: unknown provider pool");
+    const auto& pool = *pool_entry;
     const std::size_t offset = site_rng.uniform(pool.size());
     for (std::size_t j = 0; j < 5; ++j) {
       service.addresses.push_back(pool[(offset + j) % pool.size()]);
@@ -384,9 +389,10 @@ void Corpus::materialize_site(SiteDraft draft) {
                                            {draft.site.domain},
                                            SimTime::from_micros(0)));
 
-  Service& added = env_.add_service(std::move(service));
-  (void)added;
-  site_service_index_[draft.site.domain] = env_.services().size() - 1;
+  // The environment's interned host index now maps draft.site.domain to
+  // this service (site domains are unique, so first-wins is exact);
+  // service_for_site resolves through it instead of a side table.
+  env_.add_service(std::move(service));
 
   sites_.push_back(std::move(draft.site));
 }
@@ -458,9 +464,12 @@ web::Webpage Corpus::page_for_site(std::size_t site_index) const {
 
   // Per-host request-mode overrides: a developer who adds
   // crossorigin="anonymous" (SRI) or fetch() to a third-party include does
-  // so for every use of that host on the page (§5.3).
-  std::map<std::string, web::RequestMode> host_mode;
-  for (const auto* dest : dests) {
+  // so for every use of that host on the page (§5.3). Hostnames are unique
+  // within dests, so the override is indexed by destination rather than
+  // keyed by hostname string; the RNG draw order is unchanged.
+  std::vector<web::RequestMode> dest_modes(dests.size());
+  for (std::size_t d = 0; d < dests.size(); ++d) {
+    const Destination* dest = dests[d];
     web::RequestMode mode = dest->mode;
     if (mode == web::RequestMode::kSubresource) {
       const double churn = rng.uniform_double();
@@ -469,7 +478,7 @@ web::Webpage Corpus::page_for_site(std::size_t site_index) const {
                                   : web::RequestMode::kFetchApi;
       }
     }
-    host_mode[dest->hostname] = mode;
+    dest_modes[d] = mode;
   }
   // The site's own protocol is a deployment property, fixed per site.
   const bool site_h11 =
@@ -532,7 +541,7 @@ web::Webpage Corpus::page_for_site(std::size_t site_index) const {
       res.content_type = rng.bernoulli(0.55)
                              ? dest.dominant_type
                              : sample_content_type(rng, dest.organization);
-      res.mode = host_mode[dest.hostname];
+      res.mode = dest_modes[dest_index];
       res.version = dest.version;
       res.secure = dest.secure;
     }
@@ -575,9 +584,10 @@ std::vector<std::size_t> Corpus::sites_using(const std::string& hostname,
 }
 
 browser::Service* Corpus::service_for_site(std::size_t site_index) {
-  auto it = site_service_index_.find(sites_.at(site_index).domain);
-  if (it == site_service_index_.end()) return nullptr;
-  return &env_.services()[it->second];
+  const std::size_t index =
+      env_.service_index(sites_.at(site_index).domain);
+  if (index == browser::Environment::kNoService) return nullptr;
+  return &env_.services()[index];
 }
 
 }  // namespace origin::dataset

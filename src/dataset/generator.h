@@ -15,6 +15,7 @@
 
 #include "browser/environment.h"
 #include "dataset/catalog.h"
+#include "util/flat_map.h"
 #include "util/rng.h"
 #include "web/resource.h"
 
@@ -128,8 +129,11 @@ class Corpus {
   std::vector<SiteInfo> sites_;
   std::vector<Destination> popular_destinations_;
   std::vector<Destination> tail_destinations_;
-  std::map<std::string, std::vector<dns::IpAddress>> provider_pools_;
-  std::map<std::string, std::size_t> site_service_index_;  // domain -> index
+  // Immutable once build_providers() returns, so the parallel draft phase
+  // reads it without synchronization. (Site -> service resolution needs no
+  // side table: the environment's interned host index already maps each
+  // site domain to the service registered for it.)
+  util::FlatMap<std::string, std::vector<dns::IpAddress>> provider_pools_;
   std::string third_party_domain_ = "cdnjs.cloudflare.com";
 };
 

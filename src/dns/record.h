@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "util/hash.h"
+
 namespace origin::dns {
 
 enum class Family : std::uint8_t { kV4, kV6 };
@@ -43,3 +45,17 @@ struct ResourceRecord {
 };
 
 }  // namespace origin::dns
+
+namespace origin::util {
+
+// util::FlatSet<dns::IpAddress> support (ideal-IP coalescing tracks seen
+// server addresses per page, DESIGN.md §10).
+template <>
+struct Hash<origin::dns::IpAddress, void> {
+  constexpr std::uint64_t operator()(const origin::dns::IpAddress& a) const {
+    return mix64(a.value ^
+                 (static_cast<std::uint64_t>(a.family) << 63));
+  }
+};
+
+}  // namespace origin::util

@@ -7,6 +7,25 @@
 
 namespace origin::measure {
 
+namespace {
+
+// Per-thread scratch for observe_one's per-connection stream rebuild:
+// cleared (capacity kept) per call, so batch observation over a corpus
+// does zero steady-state allocation for the bookkeeping maps.
+struct ObserveScratch {
+  origin::util::FlatMap<std::uint64_t, std::uint32_t> arrival_counters;
+  // Pointers into the observed load's entry hostnames; the load outlives
+  // the call and the map is cleared on entry.
+  origin::util::FlatMap<std::uint64_t, const std::string*> connection_sni;
+};
+
+ObserveScratch& local_scratch() {
+  static thread_local ObserveScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
 bool PassivePipeline::sampled(std::uint64_t connection_id,
                               std::uint32_t arrival_order,
                               Treatment treatment, std::uint64_t day) const {
@@ -27,15 +46,17 @@ PassivePipeline::Delta PassivePipeline::observe_one(const web::PageLoad& load,
                                                     std::uint64_t day) const {
   Delta delta;
   // Reconstruct per-connection request streams for this page load.
-  std::map<std::uint64_t, std::uint32_t> arrival_counters;
-  std::map<std::uint64_t, std::string> connection_sni;
+  ObserveScratch& scratch = local_scratch();
+  scratch.arrival_counters.clear();
+  scratch.connection_sni.clear();
   for (const auto& entry : load.entries) {
     if (entry.connection_id == 0) continue;
     // First request on a connection names its SNI.
-    auto [it, inserted] =
-        connection_sni.emplace(entry.connection_id, entry.hostname);
-    const std::uint32_t order = ++arrival_counters[entry.connection_id];
-    (void)inserted;
+    const std::string* sni =
+        *scratch.connection_sni.emplace(entry.connection_id, &entry.hostname)
+             .first;
+    const std::uint32_t order =
+        ++scratch.arrival_counters[entry.connection_id];
     if (entry.hostname != domain) continue;
 
     // Connection accounting is complete (handshake logs are unsampled).
@@ -49,9 +70,9 @@ PassivePipeline::Delta PassivePipeline::observe_one(const web::PageLoad& load,
     if (!sampled(entry.connection_id, order, treatment, day)) continue;
     LogRecord record;
     record.connection_id = entry.connection_id;
-    record.sni = it->second;
+    record.sni = *sni;
     record.host = entry.hostname;
-    record.host_differs_sni = it->second != entry.hostname;
+    record.host_differs_sni = *sni != entry.hostname;
     record.treatment = treatment;
     record.arrival_order = order;
     record.day = day;
@@ -107,14 +128,15 @@ std::uint64_t PassivePipeline::new_connections(Treatment treatment) const {
 
 std::uint64_t PassivePipeline::new_connections_on_day(Treatment treatment,
                                                       std::uint64_t day) const {
-  auto it = day_connections_.find(
-      {treatment == Treatment::kControl ? 0 : 1, day});
-  return it == day_connections_.end() ? 0 : it->second;
+  const std::uint64_t* count = day_connections_.find(
+      std::pair<int, std::uint64_t>{treatment == Treatment::kControl ? 0 : 1,
+                                    day});
+  return count == nullptr ? 0 : *count;
 }
 
 std::uint64_t PassivePipeline::coalesced_connections(
     Treatment treatment) const {
-  std::set<std::uint64_t> connections;
+  origin::util::FlatSet<std::uint64_t> connections;
   for (const auto& record : records_) {
     if (record.treatment != treatment) continue;
     // The paper's signal: flag bit set and arrival order >= 2, counting

@@ -10,11 +10,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "util/flat_map.h"
 #include "web/har.h"
 
 namespace origin::measure {
@@ -85,9 +85,14 @@ class PassivePipeline {
   // Everything one observe() call adds to the pipeline. Deltas are pure
   // functions of (load, domain, treatment, day), which is what makes the
   // parallel batch path exact.
+  // Accumulation is keyed and commutative (+= per key), so the flat map's
+  // insertion-dependent iteration order never leaks into results.
+  using DayConnections =
+      util::FlatMap<std::pair<int, std::uint64_t>, std::uint64_t>;
+
   struct Delta {
     std::vector<LogRecord> records;
-    std::map<std::pair<int, std::uint64_t>, std::uint64_t> day_connections;
+    DayConnections day_connections;
     std::uint64_t control_connections = 0;
     std::uint64_t experiment_connections = 0;
   };
@@ -102,7 +107,7 @@ class PassivePipeline {
   std::vector<LogRecord> records_;
   // Full (unsampled) connection counts, as the CDN's connection logs see
   // every handshake even when request logs are sampled.
-  std::map<std::pair<int, std::uint64_t>, std::uint64_t> day_connections_;
+  DayConnections day_connections_;
   std::uint64_t control_connections_ = 0;
   std::uint64_t experiment_connections_ = 0;
 };

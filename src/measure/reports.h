@@ -60,16 +60,19 @@ class DatasetReport {
   std::uint64_t pages_ = 0;
   std::uint64_t total_requests_ = 0;
 
+  // Report accumulators render sorted tables; deterministic sorted
+  // iteration is the point here, so these stay on std::map rather than
+  // the interned flat containers (see the no-string-keyed-tree rule).
   std::map<std::uint32_t, std::uint64_t> asn_requests_;
   std::map<std::uint32_t, std::string> asn_org_;
   std::map<web::HttpVersion, std::uint64_t> protocol_requests_;
   std::uint64_t secure_requests_ = 0;
-  std::map<std::string, std::uint64_t> issuer_validations_;
+  std::map<std::string, std::uint64_t> issuer_validations_;  // lint:allow(no-string-keyed-tree)
   std::uint64_t total_validations_ = 0;
   std::map<web::ContentType, std::uint64_t> content_requests_;
   std::map<std::uint32_t, std::map<web::ContentType, std::uint64_t>>
       asn_content_;
-  std::map<std::string, std::uint64_t> hostname_requests_;
+  std::map<std::string, std::uint64_t> hostname_requests_;  // lint:allow(no-string-keyed-tree)
   origin::util::Histogram unique_as_histogram_;
 
   std::vector<double> plt_ms_;

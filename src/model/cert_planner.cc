@@ -16,11 +16,15 @@ CertPlan CertPlanner::plan(const web::PageLoad& load) const {
   const tls::Certificate& cert = *site_service->certificate;
   plan.existing_san_count = cert.san_dns.size();
 
-  // The site's own coalescing unit, per the model's grouping.
+  // The site's own coalescing unit, per the model's grouping. Group
+  // membership is an interned-id compare (DESIGN.md §10).
   std::uint32_t site_asn = site_service->asn;
-  const std::string site_group = model_.group_of(load.base_hostname, site_asn);
+  const util::SymbolId site_group =
+      model_.group_of(load.base_hostname, site_asn);
 
-  std::set<std::string> needed;
+  // Sorted order is the point here: additions feed the SAN list in
+  // deterministic lexicographic order.
+  std::set<std::string> needed;  // lint:allow(no-string-keyed-tree)
   for (const auto& entry : load.entries) {
     if (entry.hostname == load.base_hostname) continue;
     if (!entry.secure) continue;  // plaintext hosts cannot ride the cert

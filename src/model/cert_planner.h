@@ -55,10 +55,12 @@ struct PlannerAggregate {
   std::size_t no_san_needing_change = 0;  // of those, how many need changes
 
   // Table 9: per provider, how often each addable hostname appears, plus
-  // how many sites that provider hosts.
-  std::map<std::string, std::map<std::string, std::size_t>>
+  // how many sites that provider hosts. Sorted order is the point (the
+  // table prints providers/hostnames lexicographically), so these stay on
+  // std::map rather than the interned flat containers.
+  std::map<std::string, std::map<std::string, std::size_t>>  // lint:allow(no-string-keyed-tree)
       provider_addition_counts;
-  std::map<std::string, std::size_t> provider_site_counts;
+  std::map<std::string, std::size_t> provider_site_counts;  // lint:allow(no-string-keyed-tree)
 
   void add(const browser::Environment& env, const CertPlan& plan,
            const std::string& provider);

@@ -1,0 +1,65 @@
+// Default hash functors for the open-addressing containers in
+// util/flat_map.h. All hashes are deterministic across processes and
+// platforms (FNV-1a / splitmix64, no per-run seeding): container iteration
+// order is a pure function of the insertion sequence, which the pipeline's
+// bit-identical-output contract (DESIGN.md §8, §10) depends on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+
+#include "util/fnv.h"
+
+namespace origin::util {
+
+// splitmix64 finalizer. Power-of-two-masked tables index with the low bits
+// only, so integer keys must have every input bit diffused into them.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Primary template: specialize for domain types (see dns/record.h for
+// dns::IpAddress), or rely on the built-ins below for integers, enums,
+// strings, and pairs.
+template <typename T, typename Enable = void>
+struct Hash;
+
+template <typename T>
+struct Hash<T, std::enable_if_t<std::is_integral_v<T> || std::is_enum_v<T>>> {
+  constexpr std::uint64_t operator()(T value) const {
+    return mix64(static_cast<std::uint64_t>(value));
+  }
+};
+
+template <>
+struct Hash<std::string_view, void> {
+  using is_transparent = void;
+  constexpr std::uint64_t operator()(std::string_view s) const {
+    return fnv1a64(s);
+  }
+};
+
+// Accepts string_view so string-keyed containers support heterogeneous
+// lookup without constructing a temporary std::string.
+template <>
+struct Hash<std::string, void> {
+  using is_transparent = void;
+  constexpr std::uint64_t operator()(std::string_view s) const {
+    return fnv1a64(s);
+  }
+};
+
+template <typename A, typename B>
+struct Hash<std::pair<A, B>, void> {
+  constexpr std::uint64_t operator()(const std::pair<A, B>& p) const {
+    return fnv1a64_mix(Hash<A>{}(p.first), Hash<B>{}(p.second));
+  }
+};
+
+}  // namespace origin::util

@@ -1,0 +1,152 @@
+// util::Interner: stable sequential ids, lock-free lookup, and id
+// determinism under the serial-prepass + parallel-lookup discipline the
+// model layer relies on (PR 2 determinism contract).
+#include "util/interner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace origin::util {
+namespace {
+
+TEST(Interner, AssignsSequentialIdsAndRoundTrips) {
+  Interner interner;
+  EXPECT_EQ(interner.size(), 0u);
+  const SymbolId a = interner.intern("alpha");
+  const SymbolId b = interner.intern("beta");
+  const SymbolId c = interner.intern("gamma");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(c, 2u);
+  EXPECT_EQ(interner.size(), 3u);
+  EXPECT_EQ(interner.name(a), "alpha");
+  EXPECT_EQ(interner.name(b), "beta");
+  EXPECT_EQ(interner.name(c), "gamma");
+}
+
+TEST(Interner, ReinterningReturnsTheSameId) {
+  Interner interner;
+  const SymbolId a = interner.intern("example.com");
+  EXPECT_EQ(interner.intern("example.com"), a);
+  EXPECT_EQ(interner.size(), 1u);
+  // The stored view is a private copy, not the caller's buffer.
+  std::string key = "transient";
+  const SymbolId t = interner.intern(key);
+  key = "clobbered";
+  EXPECT_EQ(interner.name(t), "transient");
+  EXPECT_EQ(interner.intern("transient"), t);
+}
+
+TEST(Interner, LookupFindsOnlyInternedStrings) {
+  Interner interner;
+  EXPECT_EQ(interner.lookup("missing"), kInvalidSymbol);
+  const SymbolId a = interner.intern("present");
+  EXPECT_EQ(interner.lookup("present"), a);
+  EXPECT_EQ(interner.lookup("presen"), kInvalidSymbol);
+  EXPECT_EQ(interner.lookup(""), kInvalidSymbol);
+  const SymbolId empty = interner.intern("");
+  EXPECT_EQ(interner.lookup(""), empty);
+}
+
+TEST(Interner, IdsAreAFunctionOfInsertionOrderOnly) {
+  // Two interners fed the same sequence assign identical ids — the property
+  // that makes a serial intern prepass deterministic across runs.
+  std::vector<std::string> keys;
+  for (int i = 0; i < 500; ++i) keys.push_back("svc:" + std::to_string(i));
+  Interner first;
+  Interner second;
+  for (const auto& key : keys) first.intern(key);
+  for (const auto& key : keys) second.intern(key);
+  for (const auto& key : keys) {
+    EXPECT_EQ(first.lookup(key), second.lookup(key)) << key;
+  }
+}
+
+TEST(Interner, SurvivesTableAndDirectoryGrowth) {
+  // Push far past the initial table (64 slots) and directory chunk (1024
+  // views) sizes; every id must stay readable through the growth.
+  Interner interner;
+  constexpr int kCount = 5000;
+  std::vector<SymbolId> ids;
+  ids.reserve(kCount);
+  for (int i = 0; i < kCount; ++i) {
+    ids.push_back(interner.intern("host-" + std::to_string(i) + ".example"));
+  }
+  ASSERT_EQ(interner.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    const std::string key = "host-" + std::to_string(i) + ".example";
+    EXPECT_EQ(ids[i], static_cast<SymbolId>(i));
+    EXPECT_EQ(interner.name(ids[i]), key);
+    EXPECT_EQ(interner.lookup(key), ids[i]);
+  }
+}
+
+TEST(Interner, ConcurrentInternOfDistinctAndSharedKeys) {
+  // Writers race on a mix of thread-private and shared keys; every key must
+  // end with exactly one id, and names must round-trip. Run under TSan via
+  // scripts/check.sh for the memory-ordering claims.
+  Interner interner;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 400;
+  std::vector<std::thread> workers;
+  std::vector<std::vector<SymbolId>> shared_ids(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      shared_ids[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        interner.intern("private-" + std::to_string(t) + "-" +
+                        std::to_string(i));
+        shared_ids[t].push_back(interner.intern("shared-" +
+                                                std::to_string(i)));
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(interner.size(),
+            static_cast<std::size_t>(kThreads * kPerThread + kPerThread));
+  for (int i = 0; i < kPerThread; ++i) {
+    const SymbolId id = interner.lookup("shared-" + std::to_string(i));
+    ASSERT_NE(id, kInvalidSymbol);
+    for (int t = 0; t < kThreads; ++t) EXPECT_EQ(shared_ids[t][i], id);
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      const std::string key =
+          "private-" + std::to_string(t) + "-" + std::to_string(i);
+      const SymbolId id = interner.lookup(key);
+      ASSERT_NE(id, kInvalidSymbol);
+      EXPECT_EQ(interner.name(id), key);
+    }
+  }
+}
+
+TEST(Interner, ConcurrentReadersSeeConsistentSnapshots) {
+  // Readers run lock-free lookups while a writer grows the table through
+  // several doublings; a reader may miss a fresh key but must never see a
+  // wrong id or a torn name.
+  Interner interner;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::size_t visible = interner.size();
+        for (std::size_t id = 0; id < visible; ++id) {
+          const std::string_view view =
+              interner.name(static_cast<SymbolId>(id));
+          ASSERT_EQ(interner.lookup(view), static_cast<SymbolId>(id));
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 3000; ++i) interner.intern("key-" + std::to_string(i));
+  stop.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+}
+
+}  // namespace
+}  // namespace origin::util

@@ -4,8 +4,10 @@
 
 #include "browser/environment.h"
 #include "browser/page_loader.h"
+#include "model/baseline_model.h"
 #include "model/cert_planner.h"
 #include "model/coalescing_model.h"
+#include "web/har_json.h"
 
 namespace origin::model {
 namespace {
@@ -151,6 +153,24 @@ TEST(CoalescingModelTest, ReconstructRemovesSetupConservatively) {
   }
   EXPECT_LE(reconstructed.page_load_time().count_micros(),
             load.page_load_time().count_micros());
+}
+
+// Pages whose timestamps exceed the packed 32-bit-microsecond range take
+// the generic (two-sort sweep) anchor path instead of the packed Fenwick
+// fast path; the reconstruction must be identical to the string-keyed
+// seed either way.
+TEST(CoalescingModelTest, ReconstructHandlesHugeTimestamps) {
+  ModelWorld world;
+  auto load = world.load();
+  for (auto& entry : load.entries) {
+    entry.start =
+        SimTime::from_micros(entry.start.micros() + (std::int64_t{1} << 33));
+  }
+  CoalescingModel model(world.env);
+  baseline::BaselineCoalescingModel reference(world.env);
+  const auto reconstructed = model.reconstruct(load, model.analyze(load));
+  const auto expected = reference.reconstruct(load, reference.analyze(load));
+  EXPECT_EQ(web::to_har_string(expected), web::to_har_string(reconstructed));
 }
 
 TEST(CoalescingModelTest, RestrictToGroupOnlyTouchesThatGroup) {

@@ -13,6 +13,7 @@
 #include "dataset/generator.h"
 #include "measure/passive.h"
 #include "measure/reports.h"
+#include "model/baseline_model.h"
 #include "model/coalescing_model.h"
 #include "web/har_json.h"
 
@@ -134,8 +135,10 @@ TEST(PipelineDeterminism, ModelBatchesAreThreadCountInvariant) {
     for (std::size_t j = 0; j < serial_analyses[i].entries.size(); ++j) {
       EXPECT_EQ(serial_analyses[i].entries[j].coalescable_origin,
                 parallel_analyses[i].entries[j].coalescable_origin);
-      EXPECT_EQ(serial_analyses[i].entries[j].group_key,
-                parallel_analyses[i].entries[j].group_key);
+      // Interned ids must match *as ids* — the serial prepass assigns them
+      // before any worker runs, at every thread count.
+      EXPECT_EQ(serial_analyses[i].entries[j].group,
+                parallel_analyses[i].entries[j].group);
     }
   }
 
@@ -147,6 +150,93 @@ TEST(PipelineDeterminism, ModelBatchesAreThreadCountInvariant) {
     EXPECT_EQ(web::to_har_string(serial_rec[i]),
               web::to_har_string(parallel_rec[i]))
         << "page " << i;
+  }
+
+  // The fused replay path must equal analyze_batch + reconstruct_batch.
+  const auto fused = model.replay_batch(loads, "", 8);
+  ASSERT_EQ(fused.size(), serial_rec.size());
+  for (std::size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_EQ(web::to_har_string(fused[i]), web::to_har_string(serial_rec[i]))
+        << "page " << i;
+  }
+}
+
+// Golden test for the interned hot path: the seed's string-keyed model
+// (frozen in baseline_model.h) and the interned model must produce
+// byte-identical analyses and reconstructed timelines, at 1 and 8 threads
+// and for both the unrestricted and group-restricted replays.
+TEST(PipelineDeterminism, InternedModelMatchesStringKeyedBaseline) {
+  dataset::Corpus corpus(corpus_options(1));
+  std::vector<web::PageLoad> loads;
+  dataset::CollectOptions options;
+  options.max_sites = 60;
+  dataset::collect(corpus, options,
+                   [&](const dataset::SiteInfo&, const web::PageLoad& load) {
+                     loads.push_back(load);
+                   });
+  ASSERT_FALSE(loads.empty());
+
+  for (auto grouping :
+       {model::Grouping::kAsn, model::Grouping::kProvider,
+        model::Grouping::kService}) {
+    model::CoalescingModel interned(corpus.env(), grouping);
+    model::baseline::BaselineCoalescingModel baseline(corpus.env(), grouping);
+
+    // A real group key (the first site's own group) for the restricted
+    // replay, plus one that matches nothing.
+    const std::string site_group{
+        interned.group_name(interned.group_of(loads[0].base_hostname, 0))};
+    for (const std::string restrict_to : {std::string(), site_group,
+                                          std::string("as99999999")}) {
+      for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+        const auto analyses = interned.analyze_batch(loads, threads);
+        const auto reconstructed =
+            interned.reconstruct_batch(loads, analyses, restrict_to, threads);
+        const auto fused = interned.replay_batch(loads, restrict_to, threads);
+        // Consume overload: hand over a copy, get the same reconstruction
+        // back in place.
+        const auto consumed = interned.replay_batch(
+            std::vector<web::PageLoad>(loads), restrict_to, threads);
+        ASSERT_EQ(analyses.size(), loads.size());
+        for (std::size_t i = 0; i < loads.size(); ++i) {
+          const auto expected_analysis = baseline.analyze(loads[i]);
+          const auto& actual = analyses[i];
+          EXPECT_EQ(expected_analysis.measured_dns, actual.measured_dns);
+          EXPECT_EQ(expected_analysis.measured_tls, actual.measured_tls);
+          EXPECT_EQ(expected_analysis.measured_validations,
+                    actual.measured_validations);
+          EXPECT_EQ(expected_analysis.ideal_origin_dns,
+                    actual.ideal_origin_dns);
+          EXPECT_EQ(expected_analysis.ideal_origin_tls,
+                    actual.ideal_origin_tls);
+          EXPECT_EQ(expected_analysis.ideal_origin_validations,
+                    actual.ideal_origin_validations);
+          EXPECT_EQ(expected_analysis.ideal_ip_dns, actual.ideal_ip_dns);
+          EXPECT_EQ(expected_analysis.ideal_ip_tls, actual.ideal_ip_tls);
+          ASSERT_EQ(expected_analysis.entries.size(), actual.entries.size());
+          for (std::size_t j = 0; j < actual.entries.size(); ++j) {
+            EXPECT_EQ(expected_analysis.entries[j].coalescable_origin,
+                      actual.entries[j].coalescable_origin);
+            EXPECT_EQ(expected_analysis.entries[j].coalescable_ip,
+                      actual.entries[j].coalescable_ip);
+            // Ids spell back to the exact seed group keys.
+            EXPECT_EQ(expected_analysis.entries[j].group_key,
+                      interned.group_name(actual.entries[j].group));
+          }
+
+          const auto expected_load =
+              baseline.reconstruct(loads[i], expected_analysis, restrict_to);
+          EXPECT_EQ(web::to_har_string(expected_load),
+                    web::to_har_string(reconstructed[i]))
+              << "grouping " << model::grouping_name(grouping) << " restrict '"
+              << restrict_to << "' threads " << threads << " page " << i;
+          EXPECT_EQ(web::to_har_string(expected_load),
+                    web::to_har_string(fused[i]));
+          EXPECT_EQ(web::to_har_string(expected_load),
+                    web::to_har_string(consumed[i]));
+        }
+      }
+    }
   }
 }
 

@@ -55,6 +55,16 @@
 //                         degradation and kill-switch layers key on; an
 //                         unnamed parameter silently drops it.
 //
+//   no-string-keyed-tree  In src/model, src/measure, and src/dataset (the
+//                         measurement→model hot paths), std::map/std::set
+//                         keyed by std::string are forbidden: every lookup
+//                         re-hashes/re-compares whole strings down a
+//                         pointer-chasing tree. Intern keys once through
+//                         util::Interner and use util::FlatMap/util::FlatSet
+//                         over SymbolIds (DESIGN.md §10). The frozen
+//                         baseline (baseline_model.cc) and deliberately
+//                         ordered report tables carry audited waivers.
+//
 //   guarded-by-annotation members declared in the block following a mutex
 //                         member must carry ORIGIN_GUARDED_BY /
 //                         ORIGIN_PT_GUARDED_BY (sync primitives, immutable
@@ -108,6 +118,13 @@ bool in_util_dir(const std::filesystem::path& rel) {
 bool in_close_reason_dir(const std::filesystem::path& rel) {
   const std::string first = first_component(rel);
   return first == "browser" || first == "cdn" || first == "server";
+}
+
+// Measurement→model hot paths where string-keyed trees are banned in favour
+// of interned SymbolIds + flat hash containers (DESIGN.md §10).
+bool in_interned_hot_path(const std::filesystem::path& rel) {
+  const std::string first = first_component(rel);
+  return first == "model" || first == "measure" || first == "dataset";
 }
 
 bool allows(const std::string& line, const std::string& rule) {
@@ -169,6 +186,10 @@ class Linter {
 
     static const std::regex close_reason_bound(
         R"(const\s+std::string&\s*[A-Za-z_])");
+    // Matches std::string and std::string_view keys alike (the latter by
+    // prefix) in any ordered-tree container.
+    static const std::regex string_keyed_tree(
+        R"(std::(multi)?(map|set)\s*<\s*std::string)");
 
     bool saw_nodiscard_result = false;
     bool saw_nodiscard_status = false;
@@ -267,6 +288,15 @@ class Linter {
                  "close reason (const std::string& reason) — it carries the "
                  "teardown cause the degradation layer keys on");
         }
+      }
+
+      if (in_interned_hot_path(rel) && !comment &&
+          !allows(line, "no-string-keyed-tree") &&
+          std::regex_search(line, string_keyed_tree)) {
+        report(rel, lineno, "no-string-keyed-tree",
+               "string-keyed std::map/std::set on the measurement->model hot "
+               "path; intern the key through util::Interner and use "
+               "util::FlatMap/util::FlatSet over SymbolIds (DESIGN.md #10)");
       }
 
       if (!comment && !allows(line, "no-volatile-sync") &&
