@@ -29,7 +29,7 @@
 #include "browser/wire_client.h"
 #include "cdn/kill_switch.h"
 #include "netsim/faults.h"
-#include "netsim/middleboxes.h"
+#include "h2/middleboxes.h"
 #include "netsim/network.h"
 #include "netsim/simulator.h"
 #include "server/http2_server.h"
@@ -196,7 +196,7 @@ KillSwitchReplay run_kill_switch_replay() {
         ks.record_outcome(tag, origin_sent, cdn::abnormal_close(reason));
       });
   world.net.install_middlebox(
-      "affected", std::make_shared<netsim::StrictFrameMiddlebox>());
+      "affected", std::make_shared<h2::StrictFrameMiddlebox>());
 
   auto run_tagged = [&world](const std::string& tag) {
     browser::LoaderOptions options;

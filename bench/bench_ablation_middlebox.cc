@@ -8,7 +8,7 @@
 
 #include "browser/environment.h"
 #include "browser/wire_client.h"
-#include "netsim/middleboxes.h"
+#include "h2/middleboxes.h"
 #include "netsim/network.h"
 #include "netsim/simulator.h"
 #include "server/http2_server.h"
@@ -64,12 +64,12 @@ Outcome run_case(bool server_origin, int middlebox_kind) {
 
   if (middlebox_kind == 1) {
     net.install_middlebox("wire-client",
-                          std::make_shared<netsim::PassiveInspector>());
+                          std::make_shared<h2::PassiveInspector>());
   } else if (middlebox_kind == 2) {
     net.install_middlebox("wire-client",
-                          std::make_shared<netsim::StrictFrameMiddlebox>());
+                          std::make_shared<h2::StrictFrameMiddlebox>());
   } else if (middlebox_kind == 3) {
-    auto fixed = std::make_shared<netsim::StrictFrameMiddlebox>();
+    auto fixed = std::make_shared<h2::StrictFrameMiddlebox>();
     fixed->add_known_type(0x0c);  // the vendor's September-2022 fix
     fixed->add_known_type(0x0a);
     net.install_middlebox("wire-client", fixed);

@@ -2,27 +2,32 @@
 # CI entrypoint for the parser-hardening quality gate.
 #
 # Runs, in order:
-#   1. tier-1: default build + full ctest (includes the origin_lint gate and
-#      the deterministic fuzz-corpus replays)
-#   2. clang-tidy over the parser directories, when clang-tidy is on PATH
+#   1. tier-1: default build + full ctest (includes the origin_lint and
+#      origin_analyze gates and the deterministic fuzz-corpus replays)
+#   2. origin_analyze over the full src/ tree: the hot-path allocation,
+#      determinism, and layering contracts must have zero unwaived
+#      findings; the machine-readable findings land in
+#      analyze_findings.json at the repo root
+#   3. clang-tidy over the parser directories, when clang-tidy is on PATH
 #      (advisory skip otherwise — the pinned CI image is gcc-only)
-#   3. ASan preset build + full ctest
-#   4. fault matrix: the wire/loader suites replayed at injected fault
+#   4. ASan preset build + full ctest
+#   5. fault matrix: the wire/loader suites replayed at injected fault
 #      rates 0 / 5 / 20% (ORIGIN_FAULT_RATE) under the ASan build, so every
 #      degradation path (timeout, backoff, avoid-list, re-dispatch) runs
 #      with the allocator instrumented
-#   5. UBSan preset build + full ctest
-#   6. TSan preset build + the concurrency suites (thread pool stress +
+#   6. UBSan preset build + full ctest
+#   7. TSan preset build + the concurrency suites (thread pool stress +
 #      pipeline determinism + fault-schedule determinism) with
 #      ORIGIN_THREADS=8, so every shard path runs contended under the race
 #      detector
-#   7. perf: Release build of the two perf benches; each emits its
+#   8. perf: Release build of the two perf benches; each emits its
 #      BENCH_*.json at the repo root and exits non-zero when a gate fails
 #      (bench_perf_model: fused replay >= 3x the string-keyed baseline and
 #      no >10% regression against the committed BENCH_model.json)
 #
 # Usage: scripts/check.sh [--quick]
-#   --quick   tier-1 + lint only; skip the sanitizer rebuilds and perf leg.
+#   --quick   tier-1 + lint + analyze only; skip the sanitizer rebuilds and
+#             perf leg.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -37,10 +42,16 @@ run_suite() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
-echo "==> [1/7] tier-1 build + ctest (lint + fuzz replays included)"
+echo "==> [1/8] tier-1 build + ctest (lint + analyze + fuzz replays included)"
 run_suite build
 
-echo "==> [2/7] clang-tidy (parser directories)"
+echo "==> [2/8] origin_analyze contract gate (full src/ tree)"
+./build/tools/analyze/origin_analyze --root=. \
+  --waivers=tools/analyze/waivers.txt \
+  --json=analyze_findings.json src
+echo "findings artifact: analyze_findings.json"
+
+echo "==> [3/8] clang-tidy (parser directories)"
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   git ls-files 'src/h2/*.cc' 'src/hpack/*.cc' 'src/web/*.cc' 'src/util/*.cc' |
@@ -54,26 +65,26 @@ if [[ "$QUICK" == "1" ]]; then
   exit 0
 fi
 
-echo "==> [3/7] AddressSanitizer preset"
+echo "==> [4/8] AddressSanitizer preset"
 run_suite build-asan -DORIGIN_SANITIZE=address
 
-echo "==> [4/7] fault matrix (wire suites at 0/5/20% injected faults, ASan)"
+echo "==> [5/8] fault matrix (wire suites at 0/5/20% injected faults, ASan)"
 for rate in 0 0.05 0.20; do
   echo "--- ORIGIN_FAULT_RATE=$rate"
   ORIGIN_FAULT_RATE="$rate" ctest --test-dir build-asan --output-on-failure \
     -j "$JOBS" -R 'FaultInjection|FaultDeterminism|KillSwitch|WireClient|Http2Server|Middleboxes'
 done
 
-echo "==> [5/7] UndefinedBehaviorSanitizer preset"
+echo "==> [6/8] UndefinedBehaviorSanitizer preset"
 run_suite build-ubsan -DORIGIN_SANITIZE=undefined
 
-echo "==> [6/7] ThreadSanitizer preset (concurrency suites, 8 threads)"
+echo "==> [7/8] ThreadSanitizer preset (concurrency suites, 8 threads)"
 cmake -B build-tsan -S . -DORIGIN_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS"
 ORIGIN_THREADS=8 ctest --test-dir build-tsan --output-on-failure \
   -R 'ThreadPool|PipelineDeterminism|FaultDeterminism'
 
-echo "==> [7/7] perf gates (Release benches, repo-root BENCH_*.json)"
+echo "==> [8/8] perf gates (Release benches, repo-root BENCH_*.json)"
 cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-perf -j "$JOBS" --target bench_perf_pipeline bench_perf_model
 ./build-perf/bench/bench_perf_pipeline

@@ -24,7 +24,12 @@
 
 #include "browser/page_loader.h"
 #include "cdn/kill_switch.h"
+// The §5 deployment experiment orchestrates the corpus and the passive
+// pipeline end to end; it is the one sanctioned consumer of the
+// measurement layer from below.
+// analyze:allow(layer-upward): deployment orchestrates the corpus (§5)
 #include "dataset/generator.h"
+// analyze:allow(layer-upward): deployment drives the passive pipeline (§5)
 #include "measure/passive.h"
 #include "util/stats.h"
 

@@ -1,12 +1,14 @@
 #include "h2/flow_control.h"
 
+#include "util/hot_path.h"
+
 namespace origin::h2 {
 
 namespace {
 constexpr std::int64_t kMaxWindow = 0x7fffffff;
 }
 
-origin::util::Status FlowWindow::consume(std::int64_t n) {
+ORIGIN_HOT origin::util::Status FlowWindow::consume(std::int64_t n) {
   if (n < 0) return origin::util::make_error("h2: negative consume");
   if (n > available_) {
     return origin::util::make_error("h2: flow-control window underflow");
@@ -15,7 +17,7 @@ origin::util::Status FlowWindow::consume(std::int64_t n) {
   return {};
 }
 
-origin::util::Status FlowWindow::replenish(std::int64_t n) {
+ORIGIN_HOT origin::util::Status FlowWindow::replenish(std::int64_t n) {
   if (n <= 0) return origin::util::make_error("h2: WINDOW_UPDATE of 0");
   if (available_ + n > kMaxWindow) {
     return origin::util::make_error("h2: window exceeds 2^31-1");
@@ -24,7 +26,7 @@ origin::util::Status FlowWindow::replenish(std::int64_t n) {
   return {};
 }
 
-origin::util::Status FlowWindow::adjust(std::int64_t delta) {
+ORIGIN_HOT origin::util::Status FlowWindow::adjust(std::int64_t delta) {
   if (available_ + delta > kMaxWindow) {
     return origin::util::make_error("h2: window exceeds 2^31-1 after adjust");
   }

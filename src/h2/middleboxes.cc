@@ -1,8 +1,8 @@
-#include "netsim/middleboxes.h"
+#include "h2/middleboxes.h"
 
 #include <algorithm>
 
-namespace origin::netsim {
+namespace origin::h2 {
 
 namespace {
 
@@ -21,7 +21,7 @@ std::span<const std::uint8_t> strip_preface(
 
 }  // namespace
 
-Middlebox::Verdict PassiveInspector::inspect(
+netsim::Middlebox::Verdict PassiveInspector::inspect(
     std::uint64_t connection_id, std::span<const std::uint8_t> bytes,
     bool to_server) {
   // A real inspector tracks the preface too — for counting purposes
@@ -38,7 +38,7 @@ StrictFrameMiddlebox::StrictFrameMiddlebox() {
   for (std::uint8_t t = 0x0; t <= 0x9; ++t) known_types_.insert(t);
 }
 
-Middlebox::Verdict StrictFrameMiddlebox::inspect(
+netsim::Middlebox::Verdict StrictFrameMiddlebox::inspect(
     std::uint64_t connection_id, std::span<const std::uint8_t> bytes,
     bool to_server) {
   auto& parser = parsers_[{connection_id, to_server}];
@@ -58,7 +58,7 @@ TeardownOnTypeMiddlebox::TeardownOnTypeMiddlebox(
     std::set<std::uint8_t> teardown_types, std::string name)
     : teardown_types_(std::move(teardown_types)), name_(std::move(name)) {}
 
-Middlebox::Verdict TeardownOnTypeMiddlebox::inspect(
+netsim::Middlebox::Verdict TeardownOnTypeMiddlebox::inspect(
     std::uint64_t connection_id, std::span<const std::uint8_t> bytes,
     bool to_server) {
   auto& parser = parsers_[{connection_id, to_server}];
@@ -74,7 +74,7 @@ Middlebox::Verdict TeardownOnTypeMiddlebox::inspect(
   return Verdict::kForward;
 }
 
-Middlebox::Verdict FrameReorderingMiddlebox::inspect(
+netsim::Middlebox::Verdict FrameReorderingMiddlebox::inspect(
     std::uint64_t connection_id, std::span<const std::uint8_t> bytes,
     bool to_server) {
   (void)connection_id;
@@ -127,7 +127,7 @@ void FrameReorderingMiddlebox::transform(std::uint64_t connection_id,
   ++reorders_;
 }
 
-Middlebox::Verdict AuthorityPinningMiddlebox::inspect(
+netsim::Middlebox::Verdict AuthorityPinningMiddlebox::inspect(
     std::uint64_t connection_id, std::span<const std::uint8_t> bytes,
     bool to_server) {
   // Only requests carry :authority; server bytes pass untouched (and must
@@ -157,4 +157,4 @@ Middlebox::Verdict AuthorityPinningMiddlebox::inspect(
   return Verdict::kForward;
 }
 
-}  // namespace origin::netsim
+}  // namespace origin::h2

@@ -17,13 +17,13 @@
 #include "hpack/hpack.h"
 #include "netsim/network.h"
 
-namespace origin::netsim {
+namespace origin::h2 {
 
 // A standards-compliant inspection device: looks at every frame, forwards
 // everything (the baseline that proves inspection alone breaks nothing).
-class PassiveInspector : public Middlebox {
+class PassiveInspector : public netsim::Middlebox {
  public:
-  Verdict inspect(std::uint64_t connection_id,
+  netsim::Middlebox::Verdict inspect(std::uint64_t connection_id,
                   std::span<const std::uint8_t> bytes, bool to_server) override;
   std::string name() const override { return "passive-inspector"; }
   std::uint64_t frames_seen() const { return frames_seen_; }
@@ -40,14 +40,14 @@ class PassiveInspector : public Middlebox {
 // sees a frame type it does not recognize — instead of ignoring it as RFC
 // 9113 §4.1 requires. Defaults to knowing only the RFC 7540 core frames,
 // so ORIGIN (0xc) triggers the teardown.
-class StrictFrameMiddlebox : public Middlebox {
+class StrictFrameMiddlebox : public netsim::Middlebox {
  public:
   StrictFrameMiddlebox();
 
   // Frame types the agent recognizes (and therefore forwards).
   void add_known_type(std::uint8_t type) { known_types_.insert(type); }
 
-  Verdict inspect(std::uint64_t connection_id,
+  netsim::Middlebox::Verdict inspect(std::uint64_t connection_id,
                   std::span<const std::uint8_t> bytes, bool to_server) override;
   std::string name() const override { return "strict-av-agent"; }
   std::uint64_t teardowns() const { return teardowns_; }
@@ -62,12 +62,12 @@ class StrictFrameMiddlebox : public Middlebox {
 // types and forwards everything else — teardown-on-ORIGIN is
 // TeardownOnTypeMiddlebox({0x0c}), a device that tolerates arbitrary
 // unknown frames but specifically hates the coalescing advertisement.
-class TeardownOnTypeMiddlebox : public Middlebox {
+class TeardownOnTypeMiddlebox : public netsim::Middlebox {
  public:
   explicit TeardownOnTypeMiddlebox(std::set<std::uint8_t> teardown_types,
                                    std::string name = "type-filter-agent");
 
-  Verdict inspect(std::uint64_t connection_id,
+  netsim::Middlebox::Verdict inspect(std::uint64_t connection_id,
                   std::span<const std::uint8_t> bytes, bool to_server) override;
   std::string name() const override { return name_; }
   std::uint64_t teardowns() const { return teardowns_; }
@@ -83,9 +83,9 @@ class TeardownOnTypeMiddlebox : public Middlebox {
 // load-balancer reassembly path). Never tears down by itself; the damage
 // surfaces as an h2 protocol error on the receiving endpoint, exercising
 // the client's GOAWAY/re-dispatch degradation path.
-class FrameReorderingMiddlebox : public Middlebox {
+class FrameReorderingMiddlebox : public netsim::Middlebox {
  public:
-  Verdict inspect(std::uint64_t connection_id,
+  netsim::Middlebox::Verdict inspect(std::uint64_t connection_id,
                   std::span<const std::uint8_t> bytes, bool to_server) override;
   void transform(std::uint64_t connection_id, origin::util::Bytes& bytes,
                  bool to_server) override;
@@ -101,9 +101,9 @@ class FrameReorderingMiddlebox : public Middlebox {
 // different one — exactly the device for which a coalesced request IS the
 // anomaly. Drives the client's avoid-list: after one teardown the pair
 // must go to a dedicated connection and never re-coalesce.
-class AuthorityPinningMiddlebox : public Middlebox {
+class AuthorityPinningMiddlebox : public netsim::Middlebox {
  public:
-  Verdict inspect(std::uint64_t connection_id,
+  netsim::Middlebox::Verdict inspect(std::uint64_t connection_id,
                   std::span<const std::uint8_t> bytes, bool to_server) override;
   std::string name() const override { return "authority-pinning-proxy"; }
   std::uint64_t teardowns() const { return teardowns_; }
@@ -118,4 +118,4 @@ class AuthorityPinningMiddlebox : public Middlebox {
   std::uint64_t teardowns_ = 0;
 };
 
-}  // namespace origin::netsim
+}  // namespace origin::h2

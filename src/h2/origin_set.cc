@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/hot_path.h"
 #include "util/strings.h"
 
 namespace origin::h2 {
@@ -63,7 +64,7 @@ void OriginSet::apply_origin_frame(const std::vector<std::string>& entries) {
   }
 }
 
-bool OriginSet::contains(const Origin& candidate) const {
+ORIGIN_HOT bool OriginSet::contains(const Origin& candidate) const {
   return std::find(members_.begin(), members_.end(), candidate) != members_.end();
 }
 

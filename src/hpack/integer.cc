@@ -1,8 +1,10 @@
 #include "hpack/integer.h"
 
+#include "util/hot_path.h"
+
 namespace origin::hpack {
 
-void encode_integer(std::uint64_t value, int prefix_bits,
+ORIGIN_HOT void encode_integer(std::uint64_t value, int prefix_bits,
                     std::uint8_t first_byte_flags,
                     origin::util::ByteWriter& out) {
   const std::uint64_t max_prefix = (1ull << prefix_bits) - 1;
@@ -19,7 +21,7 @@ void encode_integer(std::uint64_t value, int prefix_bits,
   out.u8(static_cast<std::uint8_t>(value));
 }
 
-origin::util::Result<std::uint64_t> decode_integer(
+ORIGIN_HOT origin::util::Result<std::uint64_t> decode_integer(
     origin::util::ByteReader& reader, int prefix_bits) {
   const std::uint64_t max_prefix = (1ull << prefix_bits) - 1;
   std::uint64_t value = reader.u8() & max_prefix;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/fnv.h"
+#include "util/hot_path.h"
 #include "util/thread_pool.h"
 
 namespace origin::measure {
@@ -26,7 +27,7 @@ ObserveScratch& local_scratch() {
 
 }  // namespace
 
-bool PassivePipeline::sampled(std::uint64_t connection_id,
+ORIGIN_HOT bool PassivePipeline::sampled(std::uint64_t connection_id,
                               std::uint32_t arrival_order,
                               Treatment treatment, std::uint64_t day) const {
   // Keyed hash -> uniform [0, 1) from the top 53 bits. At rate 1.0 every
@@ -40,7 +41,7 @@ bool PassivePipeline::sampled(std::uint64_t connection_id,
   return static_cast<double>(h >> 11) * 0x1.0p-53 < sample_rate_;
 }
 
-PassivePipeline::Delta PassivePipeline::observe_one(const web::PageLoad& load,
+ORIGIN_HOT PassivePipeline::Delta PassivePipeline::observe_one(const web::PageLoad& load,
                                                     const std::string& domain,
                                                     Treatment treatment,
                                                     std::uint64_t day) const {
@@ -76,6 +77,8 @@ PassivePipeline::Delta PassivePipeline::observe_one(const web::PageLoad& load,
     record.treatment = treatment;
     record.arrival_order = order;
     record.day = day;
+    // analyze:allow(hot-unreserved-growth): sampled-record sink; at rates
+    // << 1 reserving entries.size() would allocate more, not less
     delta.records.push_back(std::move(record));
   }
   return delta;
@@ -85,6 +88,7 @@ void PassivePipeline::apply(Delta&& delta) {
   records_.insert(records_.end(),
                   std::make_move_iterator(delta.records.begin()),
                   std::make_move_iterator(delta.records.end()));
+  // analyze:allow(det-unordered-iter): keyed commutative fold
   for (const auto& [key, count] : delta.day_connections) {
     day_connections_[key] += count;
   }
@@ -114,6 +118,7 @@ void PassivePipeline::observe_batch(
 void PassivePipeline::merge(const PassivePipeline& other) {
   records_.insert(records_.end(), other.records_.begin(),
                   other.records_.end());
+  // analyze:allow(det-unordered-iter): keyed commutative fold
   for (const auto& [key, count] : other.day_connections_) {
     day_connections_[key] += count;
   }
@@ -132,6 +137,15 @@ std::uint64_t PassivePipeline::new_connections_on_day(Treatment treatment,
       std::pair<int, std::uint64_t>{treatment == Treatment::kControl ? 0 : 1,
                                     day});
   return count == nullptr ? 0 : *count;
+}
+
+std::vector<PassivePipeline::DayRow> PassivePipeline::day_connection_rows()
+    const {
+  std::vector<DayRow> rows;
+  for (const auto& [key, count] : day_connections_.sorted_items()) {
+    rows.push_back(DayRow{key.first, key.second, count});
+  }
+  return rows;
 }
 
 std::uint64_t PassivePipeline::coalesced_connections(

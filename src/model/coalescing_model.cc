@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "util/check.h"
+#include "util/hot_path.h"
 #include "util/thread_pool.h"
 
 namespace origin::model {
@@ -25,7 +26,7 @@ namespace {
 
 // "as<asn>" formatted into a caller-provided stack buffer: building a
 // group key never allocates on the hot path.
-std::string_view format_asn_key(char (&buffer)[16], std::uint32_t asn) {
+ORIGIN_HOT std::string_view format_asn_key(char (&buffer)[16], std::uint32_t asn) {
   buffer[0] = 'a';
   buffer[1] = 's';
   const auto result =
@@ -41,7 +42,7 @@ AnalysisScratch& local_scratch() {
   return scratch;
 }
 
-bool anchor_better(const AnalysisScratch::AnchorCandidate& a,
+ORIGIN_HOT bool anchor_better(const AnalysisScratch::AnchorCandidate& a,
                    const AnalysisScratch::AnchorCandidate& b) {
   // Matches the seed's strict `>` scan: a strictly later end wins, and
   // among equal ends the smallest entry index (the one the scan saw
@@ -54,7 +55,7 @@ bool anchor_better(const AnalysisScratch::AnchorCandidate& a,
 
 // Fenwick (binary indexed tree) specialised to prefix-max of
 // AnchorCandidate over entry indices.
-void prefix_max_update(std::vector<AnalysisScratch::AnchorCandidate>& tree,
+ORIGIN_HOT void prefix_max_update(std::vector<AnalysisScratch::AnchorCandidate>& tree,
                        std::size_t position,
                        const AnalysisScratch::AnchorCandidate& candidate) {
   for (std::size_t k = position; k < tree.size(); k |= k + 1) {
@@ -62,7 +63,7 @@ void prefix_max_update(std::vector<AnalysisScratch::AnchorCandidate>& tree,
   }
 }
 
-AnalysisScratch::AnchorCandidate prefix_max_query(
+ORIGIN_HOT AnalysisScratch::AnchorCandidate prefix_max_query(
     const std::vector<AnalysisScratch::AnchorCandidate>& tree,
     std::size_t count) {
   AnalysisScratch::AnchorCandidate best;
@@ -85,7 +86,7 @@ AnalysisScratch::AnchorCandidate prefix_max_query(
 // latest end, ties resolving to the smallest index — exactly the seed's
 // strict `>` scan. Packed candidates are never 0 (index < 2^31 keeps the
 // low word non-zero), so 0 doubles as the empty-tree sentinel.
-void compute_anchors_fast(const web::PageLoad& load, AnalysisScratch& s) {
+ORIGIN_HOT void compute_anchors_fast(const web::PageLoad& load, AnalysisScratch& s) {
   const std::size_t n = load.entries.size();
   s.end_order.resize(n);
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -128,7 +129,7 @@ void compute_anchors_fast(const web::PageLoad& load, AnalysisScratch& s) {
 // Generic fallback for timestamps outside the packable range: sweep entries
 // in start order, inserting ends into a prefix-max Fenwick tree over entry
 // indices as they become eligible.
-void compute_anchors_generic(const web::PageLoad& load, AnalysisScratch& s,
+ORIGIN_HOT void compute_anchors_generic(const web::PageLoad& load, AnalysisScratch& s,
                              bool starts_sorted) {
   const std::size_t n = load.entries.size();
   s.order_by_end.resize(n);
@@ -178,7 +179,7 @@ void compute_anchors_generic(const web::PageLoad& load, AnalysisScratch& s,
 // predecessors per entry (O(n²), src/model/coalescing_model.cc:190 in the
 // seed tree); anchors depend only on the *original* schedule, so they are
 // precomputed here in O(n log n).
-void compute_anchors(const web::PageLoad& load, AnalysisScratch& s) {
+ORIGIN_HOT void compute_anchors(const web::PageLoad& load, AnalysisScratch& s) {
   const std::size_t n = load.entries.size();
   s.anchor_of.assign(n, -1);
   if (n < 2) return;
@@ -212,7 +213,7 @@ void compute_anchors(const web::PageLoad& load, AnalysisScratch& s) {
 // original setup windows overlap share one batch. Only same-group batches
 // can match, so the seed's global creation-order scan reduces to one hash
 // probe plus this group's (short) chain, walked in creation order.
-void batch_join(std::size_t i, util::SymbolId group,
+ORIGIN_HOT void batch_join(std::size_t i, util::SymbolId group,
                 const web::HarEntry& entry, AnalysisScratch& s) {
   std::int32_t found = -1;
   std::int32_t* head = s.open_batches.find(group);
@@ -252,7 +253,7 @@ void batch_join(std::size_t i, util::SymbolId group,
 // and anchors always point backwards (j < i), so by the time entry i needs
 // out.entries[j].end() the anchor has already been rebuilt — in-place
 // mutation is safe for both the copy path and the consume path.
-void rebuild_in_place(web::PageLoad& page, AnalysisScratch& s) {
+ORIGIN_HOT void rebuild_in_place(web::PageLoad& page, AnalysisScratch& s) {
   // Re-anchoring (see compute_anchors): the HAR does not retain dependency
   // edges (same as the paper's input data), so the anchor is recovered
   // from the original schedule: the latest earlier entry that ended before
@@ -523,7 +524,7 @@ web::PageLoad CoalescingModel::reconstruct_impl(
   return out;
 }
 
-void CoalescingModel::replay_page_in_place(web::PageLoad& page,
+ORIGIN_HOT void CoalescingModel::replay_page_in_place(web::PageLoad& page,
                                            bool restricted,
                                            util::SymbolId restrict_to,
                                            AnalysisScratch& s) const {

@@ -1,5 +1,7 @@
 #include "server/http2_server.h"
 
+#include "util/hot_path.h"
+
 namespace origin::server {
 
 Http2Server::Http2Server(ServerConfig config) : config_(std::move(config)) {}
@@ -21,7 +23,7 @@ void Http2Server::listen(netsim::Network& network, dns::IpAddress address) {
                  [this](netsim::TcpEndpoint endpoint) { accept(endpoint); });
 }
 
-void Http2Server::flush(Session& session) {
+ORIGIN_HOT void Http2Server::flush(Session& session) {
   if (session.connection->has_output() && session.endpoint.open()) {
     session.endpoint.send(session.connection->take_output());
   }

@@ -12,11 +12,14 @@
 //   * iteration order is the table order — a pure function of the
 //     insertion sequence and the deterministic util::Hash functors, i.e.
 //     identical across runs and platforms, unlike std::unordered_map whose
-//     order is implementation-defined. Code that needs *sorted* order
-//     (reports, serialization) should stay on std::map — see the
-//     no-string-keyed-tree lint rule's allowlist.
+//     order is implementation-defined. But the insertion sequence itself
+//     varies with thread count, so anything feeding report or
+//     serialization output must go through sorted_items()/sorted_keys()
+//     (or stay on std::map — see the no-string-keyed-tree lint rule's
+//     allowlist). The det-unordered-iter analyze pass enforces this.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -138,6 +141,18 @@ class FlatMap {
     return {slots_.data() + slots_.size(), slots_.data() + slots_.size()};
   }
 
+  // The sanctioned emit path: copies the table out and sorts by key, so
+  // the result is independent of insertion order (and therefore of thread
+  // count). Emitters iterate this, never the raw table.
+  std::vector<std::pair<Key, Value>> sorted_items() const {
+    std::vector<std::pair<Key, Value>> items;
+    items.reserve(size_);
+    for (const auto& item : *this) items.emplace_back(item.first, item.second);
+    std::sort(items.begin(), items.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return items;
+  }
+
  private:
   static constexpr std::size_t kMinCapacity = 16;
 
@@ -200,9 +215,21 @@ class FlatSet {
     return map_.contains(key);
   }
 
+  // Visits keys in table order — fine for commutative folds, never for
+  // output (use sorted_keys() there).
   template <typename Fn>
   void for_each(Fn&& fn) const {
+    // analyze:allow(det-unordered-iter): own storage; emit via sorted_keys
     for (const auto& item : map_) fn(item.first);
+  }
+
+  // The sanctioned emit path, mirroring FlatMap::sorted_items().
+  std::vector<Key> sorted_keys() const {
+    std::vector<Key> keys;
+    keys.reserve(map_.size());
+    for_each([&keys](const Key& key) { keys.push_back(key); });
+    std::sort(keys.begin(), keys.end());
+    return keys;
   }
 
  private:

@@ -1,0 +1,34 @@
+// ORIGIN_HOT — the allocation-free hot-path contract marker.
+//
+// A function marked ORIGIN_HOT claims the steady-state discipline the
+// corpus-replay numbers depend on (DESIGN.md §10–§11): once its arenas are
+// warm it performs no heap allocation, no string construction, and no
+// virtual dispatch through owning copies. The marker has two consumers:
+//
+//   * tools/analyze's hot-path allocation pass scans every ORIGIN_HOT
+//     function body and rejects `new` / make_unique / std::string
+//     construction / container growth outside a scratch-typed arena or a
+//     reserve()d local (rules hot-new, hot-string-construct,
+//     hot-unreserved-growth, hot-owning-copy). Violations fail the build
+//     gate; deliberate exceptions carry an inline
+//     `// analyze:allow(<rule>): <why>` waiver.
+//   * util::AllocGuard (util/alloc_guard.h) is the runtime ground truth:
+//     tests arm the counting-allocator hook around a warm batch call and
+//     assert the per-page marginal allocation count is zero.
+//
+// Annotation rules (DESIGN.md §11): mark leaf and loop functions whose
+// steady state is genuinely allocation-free — scratch-arena batch scans,
+// wire-codec primitives writing through util::ByteWriter, pure state
+// machines. Do not mark functions that retain output (their allocations
+// are the product, not a leak) or cold setup paths; a marked function with
+// a by-design allocating branch waives that line, visibly, at the line.
+//
+// The attribute also tells the optimizer these functions are hot, so the
+// marker is load-bearing in Release builds, not just tooling metadata.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define ORIGIN_HOT __attribute__((hot))
+#else
+#define ORIGIN_HOT
+#endif

@@ -11,7 +11,7 @@
 #include "browser/wire_client.h"
 #include "cdn/kill_switch.h"
 #include "netsim/faults.h"
-#include "netsim/middleboxes.h"
+#include "h2/middleboxes.h"
 #include "netsim/network.h"
 #include "netsim/simulator.h"
 #include "server/http2_server.h"
@@ -499,7 +499,7 @@ TEST(KillSwitch, SixSevenReplayDisablesOriginForAffectedTagOnly) {
     ks.record_outcome(tag, origin_sent, cdn::abnormal_close(reason));
   });
   world.net.install_middlebox(
-      "affected", std::make_shared<netsim::StrictFrameMiddlebox>());
+      "affected", std::make_shared<h2::StrictFrameMiddlebox>());
 
   auto run_tagged = [&world](const std::string& tag) {
     LoaderOptions options;

@@ -3,7 +3,7 @@
 #include "browser/environment.h"
 #include "browser/wire_client.h"
 #include "h2/connection.h"
-#include "netsim/middleboxes.h"
+#include "h2/middleboxes.h"
 #include "netsim/network.h"
 #include "netsim/simulator.h"
 #include "server/http2_server.h"
@@ -12,6 +12,11 @@ namespace origin::netsim {
 namespace {
 
 using origin::dns::IpAddress;
+using origin::h2::AuthorityPinningMiddlebox;
+using origin::h2::FrameReorderingMiddlebox;
+using origin::h2::PassiveInspector;
+using origin::h2::StrictFrameMiddlebox;
+using origin::h2::TeardownOnTypeMiddlebox;
 using origin::util::Bytes;
 using origin::util::Duration;
 using origin::util::SimTime;

@@ -2,7 +2,7 @@
 
 #include "browser/environment.h"
 #include "browser/wire_client.h"
-#include "netsim/middleboxes.h"
+#include "h2/middleboxes.h"
 #include "netsim/network.h"
 #include "netsim/simulator.h"
 #include "server/http2_server.h"
@@ -170,7 +170,7 @@ TEST(WireClientTest, StrictMiddleboxKillsOriginConnections) {
   // connections die and their requests fail.
   WireWorld world(/*origin_frames=*/true);
   world.net.install_middlebox("wire-client",
-                              std::make_shared<netsim::StrictFrameMiddlebox>());
+                              std::make_shared<h2::StrictFrameMiddlebox>());
   auto result = world.run("origin-frame");
   EXPECT_TRUE(result.complete);
   EXPECT_GT(result.connections_torn_down, 0u);
@@ -181,7 +181,7 @@ TEST(WireClientTest, MiddleboxHarmlessWithoutOriginFrames) {
   // Same agent, but the server does not send ORIGIN: nothing to trip on.
   WireWorld world(/*origin_frames=*/false);
   world.net.install_middlebox("wire-client",
-                              std::make_shared<netsim::StrictFrameMiddlebox>());
+                              std::make_shared<h2::StrictFrameMiddlebox>());
   auto result = world.run("chromium-ip");
   EXPECT_TRUE(result.complete);
   EXPECT_TRUE(result.errors.empty()) << result.errors.front();

@@ -1,0 +1,233 @@
+#include "model.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace origin::analyze {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string module_of(const std::string& rel) {
+  if (rel.rfind("src/", 0) != 0) return {};
+  const std::size_t next = rel.find('/', 4);
+  if (next == std::string::npos) return {};
+  return rel.substr(4, next - 4);
+}
+
+void split_lines(std::string_view source,
+                 std::vector<std::string_view>& lines) {
+  std::size_t begin = 0;
+  while (begin <= source.size()) {
+    const std::size_t nl = source.find('\n', begin);
+    if (nl == std::string_view::npos) {
+      lines.push_back(source.substr(begin));
+      break;
+    }
+    lines.push_back(source.substr(begin, nl - begin));
+    begin = nl + 1;
+  }
+}
+
+void collect_includes(const FileModel& model,
+                      std::vector<Include>& includes) {
+  for (const Token& t : model.tokens) {
+    if (t.kind != TokenKind::kPreprocessor) continue;
+    std::string_view text = t.text;
+    const std::size_t inc = text.find("include");
+    if (inc == std::string_view::npos) continue;
+    const std::size_t open = text.find('"', inc);
+    if (open == std::string_view::npos) continue;  // <...> system include
+    const std::size_t close = text.find('"', open + 1);
+    if (close == std::string_view::npos) continue;
+    includes.push_back(
+        Include{std::string(text.substr(open + 1, close - open - 1)),
+                t.line});
+  }
+}
+
+// Parses the parameter list between tokens[open]=='(' and its matching ')'.
+// Each parameter keeps its full type spelling plus trailing name; default
+// arguments are cut at the '='.
+void parse_params(const std::vector<Token>& tokens, std::size_t open,
+                  std::size_t close, std::vector<HotParam>& params) {
+  std::size_t param_begin = open + 1;
+  std::size_t depth = 0;
+  for (std::size_t i = open + 1; i <= close; ++i) {
+    const Token& t = tokens[i];
+    const bool at_end = i == close;
+    if (!at_end && t.kind == TokenKind::kPunct) {
+      if (t.text == "(" || t.text == "<" || t.text == "[" || t.text == "{") {
+        ++depth;
+        continue;
+      }
+      if (t.text == ")" || t.text == ">" || t.text == "]" || t.text == "}") {
+        if (depth > 0) --depth;
+        continue;
+      }
+    }
+    if (!at_end && !(depth == 0 && is_punct(t, ","))) continue;
+    const std::size_t param_end = i;  // exclusive
+    if (param_end > param_begin) {
+      std::size_t eq = param_end;
+      for (std::size_t j = param_begin; j < param_end; ++j) {
+        if (is_punct(tokens[j], "=")) {
+          eq = j;
+          break;
+        }
+      }
+      HotParam p;
+      std::size_t name_at = eq;
+      // The name is the trailing identifier, when there is one; abstract
+      // declarators ("int" alone) and `void` yield an empty name.
+      if (eq > param_begin &&
+          tokens[eq - 1].kind == TokenKind::kIdentifier &&
+          !is_ident(tokens[eq - 1], "void")) {
+        name_at = eq - 1;
+        p.name = std::string(tokens[name_at].text);
+        // Array parameters spell `char (&buffer)[16]`: the identifier sits
+        // before the `)[`; treat the preceding identifier-like token run as
+        // the type either way — type_text only feeds substring checks.
+      }
+      p.type_text = join_tokens(tokens, param_begin, name_at);
+      if (!p.type_text.empty() || !p.name.empty()) {
+        params.push_back(std::move(p));
+      }
+    }
+    param_begin = i + 1;
+  }
+}
+
+// Scans forward from the token after an ORIGIN_HOT marker to the function's
+// parameter list and body. Returns false when no body follows (declaration,
+// or the marker decorated something we don't model).
+bool parse_hot_function(const std::vector<Token>& tokens, std::size_t start,
+                        HotFunction& out) {
+  // Find the '(' that opens the parameter list: the first '(' at
+  // angle/paren depth zero whose preceding token is an identifier or
+  // `operator...`. Stop early at '{', ';', or another ORIGIN_HOT.
+  std::size_t open = tokens.size();
+  for (std::size_t i = start; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (is_punct(t, ";") || is_punct(t, "{")) return false;
+    if (is_ident(t, "ORIGIN_HOT")) return false;
+    if (is_punct(t, "(") && i > start &&
+        tokens[i - 1].kind == TokenKind::kIdentifier) {
+      open = i;
+      break;
+    }
+  }
+  if (open == tokens.size()) return false;
+  const std::size_t close = match_forward(tokens, open, "(", ")");
+  if (close == tokens.size()) return false;
+  out.name = std::string(tokens[open - 1].text);
+  parse_params(tokens, open, close, out.params);
+  // Body '{' follows, possibly after const/noexcept/override/trailing
+  // return. A ';' first means declaration only; '=' covers `= default`.
+  for (std::size_t i = close + 1; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (is_punct(t, ";") || is_punct(t, "=")) return false;
+    if (is_punct(t, "{")) {
+      const std::size_t body_close = match_forward(tokens, i, "{", "}");
+      if (body_close == tokens.size()) return false;
+      out.body_begin = i + 1;
+      out.body_end = body_close;
+      return true;
+    }
+  }
+  return false;
+}
+
+void collect_hot_functions(FileModel& model) {
+  for (std::size_t i = 0; i < model.tokens.size(); ++i) {
+    if (!is_ident(model.tokens[i], "ORIGIN_HOT")) continue;
+    HotFunction fn;
+    fn.line = model.tokens[i].line;
+    if (parse_hot_function(model.tokens, i + 1, fn)) {
+      model.hot_functions.push_back(std::move(fn));
+    }
+  }
+}
+
+}  // namespace
+
+std::string join_tokens(const std::vector<Token>& tokens, std::size_t begin,
+                        std::size_t end) {
+  std::string joined;
+  for (std::size_t i = begin; i < end && i < tokens.size(); ++i) {
+    if (!joined.empty()) joined += ' ';
+    joined += tokens[i].text;
+  }
+  return joined;
+}
+
+std::size_t match_forward(const std::vector<Token>& tokens, std::size_t open,
+                          std::string_view open_text,
+                          std::string_view close_text) {
+  std::size_t depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (is_punct(tokens[i], open_text)) {
+      ++depth;
+    } else if (is_punct(tokens[i], close_text)) {
+      if (--depth == 0) return i;
+    }
+  }
+  return tokens.size();
+}
+
+bool load_file_model(const std::string& repo_root, const std::string& rel,
+                     FileModel& out) {
+  std::ifstream in(fs::path(repo_root) / rel, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out.rel = rel;
+  out.module = module_of(rel);
+  out.is_header = rel.size() > 2 && rel.compare(rel.size() - 2, 2, ".h") == 0;
+  out.source = buffer.str();
+  split_lines(out.source, out.lines);
+  out.tokens = tokenize(out.source);
+  collect_includes(out, out.includes);
+  collect_hot_functions(out);
+  return true;
+}
+
+std::deque<FileModel> load_corpus(const std::string& repo_root,
+                                  const std::vector<std::string>& roots) {
+  std::vector<std::string> rels;
+  for (const std::string& root : roots) {
+    const fs::path abs = fs::path(repo_root) / root;
+    std::error_code ec;
+    if (fs::is_regular_file(abs, ec)) {
+      rels.push_back(root);
+      continue;
+    }
+    if (!fs::is_directory(abs, ec)) continue;
+    for (fs::recursive_directory_iterator it(abs, ec), end;
+         !ec && it != end; it.increment(ec)) {
+      if (!it->is_regular_file()) continue;
+      const std::string ext = it->path().extension().string();
+      if (ext != ".h" && ext != ".cc") continue;
+      rels.push_back(
+          fs::relative(it->path(), repo_root).generic_string());
+    }
+  }
+  std::sort(rels.begin(), rels.end());
+  rels.erase(std::unique(rels.begin(), rels.end()), rels.end());
+
+  std::deque<FileModel> corpus;
+  for (const std::string& rel : rels) {
+    // Model in place: tokens view into `source`, and moving a FileModel
+    // whose source fits the SSO buffer would leave them dangling.
+    corpus.emplace_back();
+    if (!load_file_model(repo_root, rel, corpus.back())) {
+      corpus.pop_back();
+    }
+  }
+  return corpus;
+}
+
+}  // namespace origin::analyze

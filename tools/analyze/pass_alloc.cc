@@ -1,0 +1,179 @@
+// Hot-path allocation pass.
+//
+// A function annotated ORIGIN_HOT promises the steady-state replay property
+// PR 4 measured: zero allocations per page once scratch arenas are warm.
+// This pass enforces the source-level half of that contract (the runtime
+// half is util::AllocGuard):
+//
+//   hot-new              `new`, std::make_unique, std::make_shared
+//   hot-string-construct std::string construction / std::to_string
+//   hot-unreserved-growth  push_back/emplace/insert/append on a receiver
+//                          that is not sanctioned scratch state
+//   hot-owning-copy      by-value std::string/std::vector/std::function/
+//                        Bytes parameters (each call copies, and virtual
+//                        dispatch through such copies allocates)
+//
+// Sanctioned growth receivers: parameters or locals whose type spelling
+// contains "Scratch" or "ByteWriter" (the warm-arena types, which keep
+// capacity across clear()), and any receiver the same body explicitly
+// prepares with .reserve()/.clear()/.assign().
+#include <string>
+#include <unordered_set>
+
+#include "passes.h"
+
+namespace origin::analyze {
+
+namespace {
+
+bool is_scratch_type(std::string_view type_text) {
+  return type_text.find("Scratch") != std::string_view::npos ||
+         type_text.find("ByteWriter") != std::string_view::npos;
+}
+
+bool is_owning_value_type(const std::string& type_text) {
+  if (!type_text.empty() && type_text.back() == '&') return false;
+  if (type_text.find('*') != std::string::npos) return false;
+  return type_text.find("std :: string ") != std::string::npos ||
+         type_text == "std :: string" ||
+         type_text.find("std :: vector") != std::string::npos ||
+         type_text.find("std :: function") != std::string::npos ||
+         type_text.find("Bytes") != std::string::npos;
+}
+
+// Walks back from the '.'/'->' before a growth call to the root of the
+// receiver chain: `s.connections.push_back` roots at `s`. Returns an empty
+// view when the receiver is a call result or otherwise unnamed.
+std::string_view receiver_root(const std::vector<Token>& tokens,
+                               std::size_t dot) {
+  std::size_t i = dot;
+  while (true) {
+    if (i == 0 || tokens[i - 1].kind != TokenKind::kIdentifier) return {};
+    i -= 1;  // the identifier
+    if (i == 0) return tokens[i].text;
+    const Token& before = tokens[i - 1];
+    if (is_punct(before, ".") || is_punct(before, "->") ||
+        is_punct(before, "::")) {
+      i -= 1;
+      continue;
+    }
+    return tokens[i].text;
+  }
+}
+
+const std::unordered_set<std::string_view> kGrowthCalls = {
+    "push_back", "emplace_back", "emplace", "insert", "append",
+    "resize",    "grow",
+};
+
+const std::unordered_set<std::string_view> kSanctioningCalls = {
+    "reserve", "clear", "assign",
+};
+
+void check_function(const FileModel& file, const HotFunction& fn,
+                    FindingSink& sink) {
+  const std::vector<Token>& toks = file.tokens;
+
+  // Collect sanctioned receiver roots.
+  std::unordered_set<std::string_view> sanctioned;
+  for (const HotParam& p : fn.params) {
+    if (is_scratch_type(p.type_text) && !p.name.empty()) {
+      sanctioned.insert(p.name);
+    }
+  }
+  for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+    // Local scratch declarations: `AnalysisScratch& s = ...` or
+    // `ObserveScratch scratch;` — a Scratch-typed identifier followed by
+    // (optional '&') then a fresh name.
+    if (toks[i].kind == TokenKind::kIdentifier &&
+        is_scratch_type(toks[i].text) && i + 1 < fn.body_end) {
+      std::size_t j = i + 1;
+      if (is_punct(toks[j], "&")) ++j;
+      if (j < fn.body_end && toks[j].kind == TokenKind::kIdentifier) {
+        sanctioned.insert(toks[j].text);
+      }
+    }
+    // Receivers the body explicitly prepares: `out.reserve(n)` blesses
+    // `out` for growth later in the same body.
+    if (toks[i].kind == TokenKind::kIdentifier &&
+        kSanctioningCalls.count(toks[i].text) > 0 && i > 0 &&
+        (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->")) &&
+        i + 1 < fn.body_end && is_punct(toks[i + 1], "(")) {
+      const std::string_view root = receiver_root(toks, i - 1);
+      if (!root.empty()) sanctioned.insert(root);
+    }
+  }
+
+  auto flag = [&](const char* rule, const Token& at, std::string message) {
+    sink.add(rule, file.rel, at.line,
+             std::move(message) + " in ORIGIN_HOT function '" + fn.name +
+                 "'");
+  };
+
+  for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokenKind::kIdentifier) continue;
+
+    if (t.text == "new" &&
+        (i == fn.body_begin || (!is_punct(toks[i - 1], ".") &&
+                                !is_punct(toks[i - 1], "->")))) {
+      flag("hot-new", t, "operator new");
+      continue;
+    }
+    if (t.text == "make_unique" || t.text == "make_shared") {
+      flag("hot-new", t, "std::" + std::string(t.text));
+      continue;
+    }
+    if (t.text == "to_string" && i > 0 && is_punct(toks[i - 1], "::")) {
+      flag("hot-string-construct", t, "std::to_string");
+      continue;
+    }
+    if (t.text == "string" && i >= 2 && is_ident(toks[i - 2], "std") &&
+        is_punct(toks[i - 1], "::")) {
+      // References, pointers, and static-member access (std::string::npos)
+      // do not construct; anything else in a hot body does.
+      if (i + 1 < fn.body_end && (is_punct(toks[i + 1], "&") ||
+                                  is_punct(toks[i + 1], "*") ||
+                                  is_punct(toks[i + 1], "::"))) {
+        continue;
+      }
+      flag("hot-string-construct", t, "std::string construction");
+      continue;
+    }
+    if (kGrowthCalls.count(t.text) > 0 && i > 0 &&
+        (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->")) &&
+        i + 1 < fn.body_end && is_punct(toks[i + 1], "(")) {
+      const std::string_view root = receiver_root(toks, i - 1);
+      if (!root.empty() && sanctioned.count(root) > 0) continue;
+      flag("hot-unreserved-growth", t,
+           "unreserved container growth via ." + std::string(t.text) +
+               "() on '" +
+               (root.empty() ? std::string("<expression>")
+                             : std::string(root)) +
+               "'");
+      continue;
+    }
+  }
+
+  for (const HotParam& p : fn.params) {
+    if (is_owning_value_type(p.type_text)) {
+      Token at;
+      at.line = fn.line;
+      flag("hot-owning-copy", at,
+           "by-value owning parameter '" + p.name + "' of type '" +
+               p.type_text + "'");
+    }
+  }
+}
+
+}  // namespace
+
+void run_alloc_pass(const std::deque<FileModel>& corpus, FindingSink& sink) {
+  for (const FileModel& file : corpus) {
+    for (const HotFunction& fn : file.hot_functions) {
+      check_function(file, fn, sink);
+    }
+  }
+}
+
+}  // namespace origin::analyze

@@ -1,0 +1,248 @@
+// Determinism pass.
+//
+// The corpus pipeline must produce byte-identical reports at any thread
+// count (the 1-vs-8-thread golden tests), so ordering may never leak from
+// hash containers or ambient process state:
+//
+//   det-unordered-iter   range-for over a util::FlatMap/FlatSet or
+//                        std::unordered_* value. Iteration order of these
+//                        containers is insertion/hash order; emitters must
+//                        copy out and sort first (iterating a sorted
+//                        vector produced from the map is clean), and
+//                        commutative merges carry an inline waiver.
+//   det-wall-clock       std::chrono system/steady/high_resolution clocks,
+//                        clock_gettime, gettimeofday, time(nullptr)
+//   det-ambient-rand     rand()/srand()/std::random_device (seeded
+//                        mt19937 engines are deterministic and fine)
+//   det-pointer-value    "%p" formatting or streaming a void* — pointer
+//                        values vary across runs and ASLR
+//
+// Sanctioned module for clocks and entropy: src/netsim (the simulator owns
+// time and seeds); everything else needs a waiver.
+//
+// Type resolution is a corpus-global two-pass affair: pass one registers
+// every alias (`using DayConnections = util::FlatMap<...>;`) and every
+// declared variable/member name of unordered type; pass two flags range-for
+// statements whose iterated expression resolves, by its trailing
+// identifier, to a registered name.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "passes.h"
+
+namespace origin::analyze {
+
+namespace {
+
+const std::unordered_set<std::string_view> kUnorderedTypes = {
+    "FlatMap",
+    "FlatSet",
+    "unordered_map",
+    "unordered_set",
+    "unordered_multimap",
+    "unordered_multiset",
+};
+
+bool clock_sanctioned(const FileModel& file) {
+  return file.module == "netsim";
+}
+
+// Registry of names that denote unordered containers: type aliases and
+// declared variable/member names. Names declared in headers register
+// globally (a member declared in a header iterates in a .cc); names
+// declared in a .cc stay local to that file, so a local FlatSet called
+// `connections` cannot poison a same-named vector member elsewhere.
+struct Registry {
+  std::unordered_set<std::string> aliases;        // type names, global
+  std::unordered_set<std::string> global_values;  // from headers
+  std::unordered_map<std::string, std::unordered_set<std::string>>
+      local_values;  // from .cc files, keyed by rel path
+
+  bool is_unordered_type(std::string_view name) const {
+    return kUnorderedTypes.count(name) > 0 ||
+           aliases.count(std::string(name)) > 0;
+  }
+
+  bool is_unordered_value(const FileModel& file,
+                          std::string_view name) const {
+    const std::string key(name);
+    if (global_values.count(key) > 0) return true;
+    const auto it = local_values.find(file.rel);
+    return it != local_values.end() && it->second.count(key) > 0;
+  }
+};
+
+void collect_aliases(const FileModel& file, Registry& reg) {
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "using") ||
+        toks[i + 1].kind != TokenKind::kIdentifier ||
+        !is_punct(toks[i + 2], "=")) {
+      continue;
+    }
+    for (std::size_t j = i + 3; j < toks.size(); ++j) {
+      if (is_punct(toks[j], ";")) break;
+      if (toks[j].kind == TokenKind::kIdentifier &&
+          reg.is_unordered_type(toks[j].text)) {
+        reg.aliases.insert(std::string(toks[i + 1].text));
+        break;
+      }
+    }
+  }
+}
+
+void collect_values(const FileModel& file, Registry& reg) {
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokenKind::kIdentifier ||
+        !reg.is_unordered_type(toks[i].text)) {
+      continue;
+    }
+    // Skip the template argument list if present, then accept
+    // `name ;`, `name =`, `name {`, `name (` declarations (optionally
+    // through '&'). `FlatMap<K,V> day_connections_;`
+    std::size_t j = i + 1;
+    if (j < toks.size() && is_punct(toks[j], "<")) {
+      j = match_forward(toks, j, "<", ">");
+      if (j == toks.size()) continue;
+      ++j;
+    }
+    while (j < toks.size() && (is_punct(toks[j], "&") ||
+                               is_punct(toks[j], "*") ||
+                               is_ident(toks[j], "const"))) {
+      ++j;
+    }
+    if (j + 1 < toks.size() && toks[j].kind == TokenKind::kIdentifier &&
+        (is_punct(toks[j + 1], ";") || is_punct(toks[j + 1], "=") ||
+         is_punct(toks[j + 1], "{") || is_punct(toks[j + 1], ",") ||
+         is_punct(toks[j + 1], ")"))) {
+      std::string name(toks[j].text);
+      if (file.is_header) {
+        reg.global_values.insert(std::move(name));
+      } else {
+        reg.local_values[file.rel].insert(std::move(name));
+      }
+    }
+  }
+}
+
+void flag_unordered_iteration(const FileModel& file, const Registry& reg,
+                              FindingSink& sink) {
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_ident(toks[i], "for") || !is_punct(toks[i + 1], "(")) continue;
+    const std::size_t close = match_forward(toks, i + 1, "(", ")");
+    if (close == toks.size()) continue;
+    // Range-for: a ':' at paren depth 1. ("::" is a single distinct token,
+    // so a bare ':' is unambiguous.)
+    std::size_t colon = toks.size();
+    std::size_t depth = 0;
+    for (std::size_t j = i + 1; j < close; ++j) {
+      if (is_punct(toks[j], "(") || is_punct(toks[j], "{")) ++depth;
+      if (is_punct(toks[j], ")") || is_punct(toks[j], "}")) --depth;
+      if (depth == 1 && is_punct(toks[j], ":")) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon == toks.size()) continue;
+    // The iterated expression: flag when its trailing identifier names a
+    // registered unordered value, or any identifier in it names an
+    // unordered type (a temporary). A call result `sorted(map)` ends in
+    // ')' and resolves to nothing — sorted copies pass clean by design.
+    std::string_view culprit;
+    if (toks[close - 1].kind == TokenKind::kIdentifier &&
+        reg.is_unordered_value(file, toks[close - 1].text)) {
+      culprit = toks[close - 1].text;
+    } else {
+      for (std::size_t j = colon + 1; j < close && culprit.empty(); ++j) {
+        if (toks[j].kind == TokenKind::kIdentifier &&
+            reg.is_unordered_type(toks[j].text)) {
+          culprit = toks[j].text;
+        }
+      }
+    }
+    if (culprit.empty()) continue;
+    sink.add("det-unordered-iter", file.rel, toks[i].line,
+             "iteration over unordered container '" + std::string(culprit) +
+                 "' — order is hash/insertion dependent; sort into a "
+                 "vector before emitting, or waive a commutative merge");
+  }
+}
+
+const std::unordered_set<std::string_view> kWallClock = {
+    "system_clock",  "steady_clock", "high_resolution_clock",
+    "clock_gettime", "gettimeofday",
+};
+
+const std::unordered_set<std::string_view> kAmbientRand = {
+    "rand",
+    "srand",
+    "random_device",
+};
+
+void flag_ambient_state(const FileModel& file, FindingSink& sink) {
+  if (clock_sanctioned(file)) return;
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokenKind::kString) {
+      if (t.text.find("%p") != std::string_view::npos) {
+        sink.add("det-pointer-value", file.rel, t.line,
+                 "\"%p\" formats a pointer value — varies per run/ASLR");
+      }
+      continue;
+    }
+    if (t.kind != TokenKind::kIdentifier) continue;
+    if (kWallClock.count(t.text) > 0) {
+      sink.add("det-wall-clock", file.rel, t.line,
+               std::string(t.text) +
+                   " reads wall-clock time outside src/netsim");
+      continue;
+    }
+    if (kAmbientRand.count(t.text) > 0) {
+      // `rand` only as a call, not e.g. a substring-free member name.
+      if (t.text == "rand" &&
+          !(i + 1 < toks.size() && is_punct(toks[i + 1], "(")))
+        continue;
+      if (t.text == "rand" && i > 0 &&
+          (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->")))
+        continue;
+      sink.add("det-ambient-rand", file.rel, t.line,
+               std::string(t.text) +
+                   " draws ambient entropy outside src/netsim");
+      continue;
+    }
+    // Streaming a pointer: `<< static_cast<const void*>(...)` or
+    // `<< (void*) ...` — the void* cast is the tell.
+    if (t.text == "void" && i >= 1 && i + 1 < toks.size() &&
+        is_punct(toks[i + 1], "*")) {
+      for (std::size_t back = 1; back <= 6 && back <= i; ++back) {
+        if (is_punct(toks[i - back], "<<")) {
+          sink.add("det-pointer-value", file.rel, t.line,
+                   "streams a void* pointer value — varies per run/ASLR");
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void run_determinism_pass(const std::deque<FileModel>& corpus,
+                          FindingSink& sink) {
+  Registry reg;
+  // Two alias rounds so an alias of an alias still resolves, then values.
+  for (int round = 0; round < 2; ++round) {
+    for (const FileModel& file : corpus) collect_aliases(file, reg);
+  }
+  for (const FileModel& file : corpus) collect_values(file, reg);
+  for (const FileModel& file : corpus) {
+    flag_unordered_iteration(file, reg, sink);
+    flag_ambient_state(file, sink);
+  }
+}
+
+}  // namespace origin::analyze

@@ -1,0 +1,37 @@
+// The origin_analyze invariant passes. Each pass walks the modeled corpus
+// and reports violations into the shared FindingSink; waiver application
+// and output formatting happen afterwards in the driver.
+#pragma once
+
+#include <deque>
+
+#include "findings.h"
+#include "model.h"
+
+namespace origin::analyze {
+
+// Hot-path allocation discipline: functions annotated ORIGIN_HOT may not
+// allocate. Rules: hot-new (new / make_unique / make_shared),
+// hot-string-construct (std::string construction or concatenation),
+// hot-unreserved-growth (push_back/emplace_back/insert/operator[] growth on
+// receivers that are not sanctioned scratch state), hot-owning-copy
+// (by-value std::string / std::vector / std::function parameters).
+void run_alloc_pass(const std::deque<FileModel>& corpus, FindingSink& sink);
+
+// Determinism: iteration over unordered containers (util::FlatMap/FlatSet,
+// std::unordered_*) feeding serialization or report output must be sorted
+// first (det-unordered-iter); wall-clock reads, ambient rand(), and
+// pointer-value formatting are confined to sanctioned modules
+// (det-wall-clock, det-ambient-rand, det-pointer-value).
+void run_determinism_pass(const std::deque<FileModel>& corpus,
+                          FindingSink& sink);
+
+// Layering: the module DAG is
+//   util(0) → netsim,dns,tls(1) → h1,h2,hpack,web,ct(2) →
+//   server,cdn,browser(3) → dataset,measure,model(4)
+// A module may include same-or-lower layers only (layer-upward), and the
+// include graph must stay acyclic even within a layer (layer-cycle).
+void run_layering_pass(const std::deque<FileModel>& corpus,
+                       FindingSink& sink);
+
+}  // namespace origin::analyze

@@ -1,0 +1,28 @@
+// Fixture: hot-path code the alloc pass must accept — growth through a
+// scratch arena and through an explicitly reserved receiver.
+#include <string>
+#include <vector>
+
+#define ORIGIN_HOT __attribute__((hot))
+
+struct AnalysisScratch {
+  std::vector<int> items;
+};
+
+ORIGIN_HOT void accumulate(AnalysisScratch& s, int v) {
+  s.items.push_back(v);
+}
+
+ORIGIN_HOT void collect_reserved(std::vector<int>& out, int v) {
+  out.reserve(16);
+  out.push_back(v);
+}
+
+ORIGIN_HOT int read_only(const std::string& name) {
+  return name.empty() ? 0 : static_cast<int>(name.front());
+}
+
+// Cold code allocates freely; only ORIGIN_HOT bodies are checked.
+std::string cold_label(int id) {
+  return "id-" + std::to_string(id);
+}

@@ -1,0 +1,10 @@
+// Fixture: unreserved container growth inside an ORIGIN_HOT body
+// (hot-unreserved-growth) — the receiver is neither scratch-typed nor
+// prepared with reserve()/clear()/assign().
+#include <vector>
+
+#define ORIGIN_HOT __attribute__((hot))
+
+ORIGIN_HOT void collect(std::vector<int>& out, int v) {
+  out.push_back(v);
+}

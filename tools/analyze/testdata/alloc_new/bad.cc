@@ -1,0 +1,6 @@
+// Fixture: operator new inside an ORIGIN_HOT body (hot-new).
+#define ORIGIN_HOT __attribute__((hot))
+
+ORIGIN_HOT int* make_counter() {
+  return new int(0);
+}

@@ -1,0 +1,9 @@
+// Fixture: by-value owning parameter on an ORIGIN_HOT function
+// (hot-owning-copy) — every call site copies the string.
+#include <string>
+
+#define ORIGIN_HOT __attribute__((hot))
+
+ORIGIN_HOT int consume(std::string name) {
+  return static_cast<int>(name.size());
+}

@@ -1,0 +1,11 @@
+// Fixture: std::string construction inside an ORIGIN_HOT body
+// (hot-string-construct).
+#include <string>
+
+#define ORIGIN_HOT __attribute__((hot))
+
+ORIGIN_HOT int label_length(int id) {
+  std::string label = "id-";
+  label += static_cast<char>('0' + id % 10);
+  return static_cast<int>(label.size());
+}

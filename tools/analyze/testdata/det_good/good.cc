@@ -1,0 +1,25 @@
+// Fixture: deterministic emission the determinism pass must accept — the
+// unordered map is copied into a vector and sorted before iteration.
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace util {
+template <typename K, typename V>
+struct FlatMap {
+  std::pair<K, V>* begin() const { return nullptr; }
+  std::pair<K, V>* end() const { return nullptr; }
+};
+}  // namespace util
+
+using Counts = util::FlatMap<int, int>;
+
+int emit(const Counts& counts) {
+  std::vector<std::pair<int, int>> rows(counts.begin(), counts.end());
+  std::sort(rows.begin(), rows.end());
+  int total = 0;
+  for (const auto& [key, value] : rows) {
+    total += key + value;
+  }
+  return total;
+}

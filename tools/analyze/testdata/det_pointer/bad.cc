@@ -1,0 +1,7 @@
+// Fixture: pointer-value formatting (det-pointer-value) — addresses vary
+// per run under ASLR, so they may never reach report output.
+#include <cstdio>
+
+void dump(const void* p) {
+  std::printf("session at %p\n", p);
+}

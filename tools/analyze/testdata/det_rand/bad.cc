@@ -1,0 +1,6 @@
+// Fixture: ambient entropy outside src/netsim (det-ambient-rand).
+#include <cstdlib>
+
+int jitter() {
+  return std::rand() % 10;
+}

@@ -1,0 +1,21 @@
+// Fixture: direct iteration over an unordered container
+// (det-unordered-iter) — order is hash/insertion dependent.
+#include <utility>
+
+namespace util {
+template <typename K, typename V>
+struct FlatMap {
+  std::pair<K, V>* begin() const { return nullptr; }
+  std::pair<K, V>* end() const { return nullptr; }
+};
+}  // namespace util
+
+using Counts = util::FlatMap<int, int>;
+
+int emit(const Counts& counts) {
+  int total = 0;
+  for (const auto& [key, value] : counts) {
+    total += key + value;
+  }
+  return total;
+}

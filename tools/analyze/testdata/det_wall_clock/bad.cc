@@ -1,0 +1,6 @@
+// Fixture: wall-clock read outside src/netsim (det-wall-clock).
+#include <chrono>
+
+long long now_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,8 @@
+// Fixture: half of a same-layer include cycle dns <-> tls (layer-cycle).
+#pragma once
+
+#include "tls/b.h"
+
+namespace origin::dns {
+inline int a_value() { return 1; }
+}  // namespace origin::dns

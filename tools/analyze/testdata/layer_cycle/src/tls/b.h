@@ -1,0 +1,10 @@
+// Fixture: the other half of the dns <-> tls cycle (layer-cycle). Neither
+// edge is upward — both modules sit in layer 1 — so only cycle detection
+// catches this.
+#pragma once
+
+#include "dns/a.h"
+
+namespace origin::tls {
+inline int b_value() { return 2; }
+}  // namespace origin::tls

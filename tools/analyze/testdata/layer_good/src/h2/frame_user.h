@@ -1,0 +1,9 @@
+// Fixture: a layer-2 module including downward into util — the layering
+// pass must accept this.
+#pragma once
+
+#include "util/base.h"
+
+namespace origin::h2 {
+inline int frame_value() { return util::base_value() + 1; }
+}  // namespace origin::h2

@@ -1,0 +1,6 @@
+// Fixture: layer-0 header with no module dependencies.
+#pragma once
+
+namespace origin::util {
+inline int base_value() { return 1; }
+}  // namespace origin::util

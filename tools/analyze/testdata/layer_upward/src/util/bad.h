@@ -1,0 +1,8 @@
+// Fixture: layer-0 util reaching up into layer-2 h2 (layer-upward).
+#pragma once
+
+#include "h2/frame.h"
+
+namespace origin::util {
+inline int bad_value() { return 2; }
+}  // namespace origin::util

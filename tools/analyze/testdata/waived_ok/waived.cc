@@ -1,0 +1,26 @@
+// Fixture: deliberate violations carrying inline waivers — the analyzer
+// must report them as waived and exit 0.
+#include <utility>
+
+#define ORIGIN_HOT __attribute__((hot))
+
+ORIGIN_HOT int* make_counter() {
+  return new int(0);  // analyze:allow(hot-new): fixture exercises waivers
+}
+
+namespace util {
+template <typename K, typename V>
+struct FlatMap {
+  std::pair<K, V>* begin() const { return nullptr; }
+  std::pair<K, V>* end() const { return nullptr; }
+};
+}  // namespace util
+
+int merge(const util::FlatMap<int, int>& counts) {
+  int total = 0;
+  // analyze:allow(det-unordered-iter): commutative sum, order-independent
+  for (const auto& [key, value] : counts) {
+    total += key + value;
+  }
+  return total;
+}

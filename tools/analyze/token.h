@@ -1,0 +1,47 @@
+// Lightweight C++ token scanner for the origin_analyze passes.
+//
+// This is not a compiler front end: it produces exactly the fidelity the
+// invariant passes need and nothing more. Comments and whitespace are
+// dropped (inline waivers are matched against raw source lines, not
+// tokens), string/char literals survive as single tokens so their contents
+// never masquerade as code, and preprocessor directives are folded into one
+// token per logical line so `#define ORIGIN_HOT ...` can never be mistaken
+// for an annotated function.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace origin::analyze {
+
+enum class TokenKind {
+  kIdentifier,    // identifiers and keywords
+  kNumber,        // numeric literal (pp-number: 0x1p3, 1'000'000, 1e-5)
+  kString,        // string literal, quotes included; raw strings collapsed
+  kChar,          // character literal
+  kPunct,         // one operator/punctuator ("::" and "->" kept whole)
+  kPreprocessor,  // a whole directive line, backslash continuations folded
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string_view text;   // view into the owning FileModel's source
+  std::size_t line = 0;    // 1-based line of the first character
+  std::size_t column = 0;  // 1-based column of the first character
+};
+
+// Scans `source` into tokens. Never fails: unrecognized bytes become
+// single-character punctuation, and an unterminated literal runs to the end
+// of its line — garbage in a scanned file must not kill the whole gate.
+std::vector<Token> tokenize(std::string_view source);
+
+inline bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+inline bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+}  // namespace origin::analyze

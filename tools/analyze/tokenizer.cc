@@ -1,0 +1,274 @@
+#include "token.h"
+
+#include <cctype>
+
+namespace origin::analyze {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+class Scanner {
+ public:
+  explicit Scanner(std::string_view source) : src_(source) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> tokens;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        advance_line();
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        ++col_;
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        skip_to_eol();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        skip_block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        tokens.push_back(preprocessor_line());
+        continue;
+      }
+      at_line_start_ = false;
+      if (ident_start(c)) {
+        // R"(...)" raw strings open on the quote that follows the prefix.
+        if ((c == 'R' || c == 'L' || c == 'u' || c == 'U') &&
+            raw_string_ahead()) {
+          tokens.push_back(raw_string());
+          continue;
+        }
+        tokens.push_back(identifier());
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
+        tokens.push_back(number());
+        continue;
+      }
+      if (c == '"') {
+        tokens.push_back(quoted(TokenKind::kString, '"'));
+        continue;
+      }
+      if (c == '\'') {
+        tokens.push_back(quoted(TokenKind::kChar, '\''));
+        continue;
+      }
+      tokens.push_back(punct());
+    }
+    return tokens;
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void advance_line() {
+    ++pos_;
+    ++line_;
+    col_ = 1;
+    at_line_start_ = true;
+  }
+
+  void skip_to_eol() {
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+  }
+
+  void skip_block_comment() {
+    pos_ += 2;
+    col_ += 2;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && peek(1) == '/') {
+        pos_ += 2;
+        col_ += 2;
+        return;
+      }
+      if (src_[pos_] == '\n') {
+        advance_line();
+        at_line_start_ = false;  // a comment does not re-arm directives…
+      } else {
+        ++pos_;
+        ++col_;
+      }
+    }
+  }
+
+  Token make(TokenKind kind, std::size_t begin, std::size_t begin_line,
+             std::size_t begin_col) const {
+    return Token{kind, src_.substr(begin, pos_ - begin), begin_line,
+                 begin_col};
+  }
+
+  Token preprocessor_line() {
+    const std::size_t begin = pos_;
+    const std::size_t begin_line = line_;
+    const std::size_t begin_col = col_;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\' && peek(1) == '\n') {
+        pos_ += 2;
+        ++line_;
+        col_ = 1;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;
+      // Directive-embedded comments end the directive for our purposes —
+      // waivers live in comments and are matched on raw lines anyway.
+      if (src_[pos_] == '/' && (peek(1) == '/' || peek(1) == '*')) break;
+      ++pos_;
+      ++col_;
+    }
+    return make(TokenKind::kPreprocessor, begin, begin_line, begin_col);
+  }
+
+  Token identifier() {
+    const std::size_t begin = pos_;
+    const std::size_t begin_col = col_;
+    while (pos_ < src_.size() && ident_char(src_[pos_])) {
+      ++pos_;
+      ++col_;
+    }
+    return make(TokenKind::kIdentifier, begin, line_, begin_col);
+  }
+
+  Token number() {
+    const std::size_t begin = pos_;
+    const std::size_t begin_col = col_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (ident_char(c) || c == '.' || c == '\'') {
+        ++pos_;
+        ++col_;
+        continue;
+      }
+      // Exponent signs: 1e+5, 0x1p-3.
+      if ((c == '+' || c == '-') && pos_ > begin) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          ++col_;
+          continue;
+        }
+      }
+      break;
+    }
+    return make(TokenKind::kNumber, begin, line_, begin_col);
+  }
+
+  Token quoted(TokenKind kind, char close) {
+    const std::size_t begin = pos_;
+    const std::size_t begin_line = line_;
+    const std::size_t begin_col = col_;
+    ++pos_;
+    ++col_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size() && peek(1) != '\n') {
+        pos_ += 2;
+        col_ += 2;
+        continue;
+      }
+      if (c == close) {
+        ++pos_;
+        ++col_;
+        break;
+      }
+      if (c == '\n') break;  // unterminated: stop at end of line
+      ++pos_;
+      ++col_;
+    }
+    return make(kind, begin, begin_line, begin_col);
+  }
+
+  // True when the cursor sits on the encoding prefix of a raw string
+  // literal: R" u8R" LR" uR" UR".
+  bool raw_string_ahead() const {
+    std::size_t i = pos_;
+    if (src_[i] == 'u' && i + 1 < src_.size() && src_[i + 1] == '8') ++i;
+    if (src_[i] == 'L' || src_[i] == 'u' || src_[i] == 'U') ++i;
+    return i < src_.size() && src_[i] == 'R' && i + 1 < src_.size() &&
+           src_[i + 1] == '"';
+  }
+
+  Token raw_string() {
+    const std::size_t begin = pos_;
+    const std::size_t begin_line = line_;
+    const std::size_t begin_col = col_;
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      ++pos_;
+      ++col_;
+    }
+    ++pos_;  // opening quote
+    ++col_;
+    // Delimiter runs to the '('.
+    const std::size_t delim_begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '(' && src_[pos_] != '\n') {
+      ++pos_;
+      ++col_;
+    }
+    const std::string_view delim =
+        src_.substr(delim_begin, pos_ - delim_begin);
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == ')' &&
+          src_.compare(pos_ + 1, delim.size(), delim) == 0 &&
+          pos_ + 1 + delim.size() < src_.size() &&
+          src_[pos_ + 1 + delim.size()] == '"') {
+        pos_ += 2 + delim.size();
+        col_ += 2 + delim.size();
+        break;
+      }
+      if (src_[pos_] == '\n') {
+        advance_line();
+        at_line_start_ = false;
+      } else {
+        ++pos_;
+        ++col_;
+      }
+    }
+    return make(TokenKind::kString, begin, begin_line, begin_col);
+  }
+
+  Token punct() {
+    const std::size_t begin = pos_;
+    const std::size_t begin_col = col_;
+    const char c = src_[pos_];
+    ++pos_;
+    ++col_;
+    // Only the two operators the passes key on are kept multi-character:
+    // "::" (qualified names) and "->" (member access). Everything else —
+    // including ">>" — stays single-character so template-angle matching
+    // needs no special cases.
+    if ((c == ':' && peek(0) == ':') || (c == '-' && peek(0) == '>')) {
+      ++pos_;
+      ++col_;
+    }
+    return make(TokenKind::kPunct, begin, line_, begin_col);
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t col_ = 1;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  return Scanner(source).run();
+}
+
+}  // namespace origin::analyze

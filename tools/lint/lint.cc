@@ -72,27 +72,29 @@
 //                         exempt) — the heuristic that keeps new shared
 //                         state from silently skipping the clang analysis.
 //
-// A violation can be waived for one line with a trailing
-// `// lint:allow(<rule>)` comment; every waiver is an audited exception.
+// A violation can be waived with a `// lint:allow(<rule>)` comment on the
+// offending line (or the comment block directly above it); every waiver is
+// an audited exception. Findings flow through the shared analyze_core sink
+// (tools/analyze), so origin_lint and origin_analyze report in the same
+// format — `--json=FILE` emits the machine-readable findings document.
 //
 // Exit status: 0 when clean, 1 when any violation is reported, 2 on usage
 // or I/O errors.
-#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <regex>
 #include <string>
 #include <vector>
 
+#include "findings.h"
+#include "model.h"
+
 namespace {
 
-struct Violation {
-  std::string file;
-  std::size_t line;
-  std::string rule;
-  std::string message;
-};
+using origin::analyze::FileModel;
+using origin::analyze::FindingSink;
 
 // Directories (relative to the lint root) holding hand-rolled parsers; the
 // narrowing-cast rule applies only here, the rest of the rules repo-wide.
@@ -127,10 +129,6 @@ bool in_interned_hot_path(const std::filesystem::path& rel) {
   return first == "model" || first == "measure" || first == "dataset";
 }
 
-bool allows(const std::string& line, const std::string& rule) {
-  return line.find("lint:allow(" + rule + ")") != std::string::npos;
-}
-
 std::string trimmed(const std::string& line) {
   const auto begin = line.find_first_not_of(" \t");
   return begin == std::string::npos ? "" : line.substr(begin);
@@ -143,20 +141,19 @@ bool is_comment_line(const std::string& line) {
 
 class Linter {
  public:
-  void lint_file(const std::filesystem::path& path,
-                 const std::filesystem::path& rel) {
-    std::ifstream in(path);
-    if (!in) {
-      std::fprintf(stderr, "lint: cannot read %s\n", path.c_str());
-      io_error_ = true;
-      return;
-    }
-    // Read the whole file up front: the close-reason rule needs lookahead
-    // (a lambda's parameter list may wrap onto the following lines).
-    std::vector<std::string> lines;
-    for (std::string raw; std::getline(in, raw);) lines.push_back(raw);
+  explicit Linter(FindingSink& sink) : sink_(sink) {}
 
-    const bool header = path.extension() == ".h";
+  // Lints one modeled file. The model's raw lines drive the text rules
+  // (the close-reason rule needs lookahead: a lambda's parameter list may
+  // wrap onto the following lines); waiver matching happens later in
+  // FindingSink::finalize against the same lines.
+  void lint_file(const FileModel& model) {
+    const std::filesystem::path rel(model.rel);
+    std::vector<std::string> lines;
+    lines.reserve(model.lines.size());
+    for (const std::string_view raw : model.lines) lines.emplace_back(raw);
+
+    const bool header = model.is_header;
     const bool parser_dir = in_parser_dir(rel);
     const bool close_reason_dir = in_close_reason_dir(rel);
     const bool is_result_header = rel == std::filesystem::path("util/result.h");
@@ -201,7 +198,7 @@ class Linter {
       const std::size_t lineno = index + 1;
       const bool comment = is_comment_line(line);
 
-      if (!comment && !is_check_header && !allows(line, "no-bare-assert") &&
+      if (!comment && !is_check_header &&
           line.find("static_assert") == std::string::npos &&
           (std::regex_search(line, bare_assert) ||
            std::regex_search(line, cassert_include))) {
@@ -210,14 +207,14 @@ class Linter {
                "RelWithDebInfo builds");
       }
 
-      if (!comment && !allows(line, "no-reinterpret-cast") &&
+      if (!comment &&
           std::regex_search(line, reinterpret)) {
         report(rel, lineno, "no-reinterpret-cast",
                "view bytes as text via util::as_string_view instead of a raw "
                "reinterpret_cast");
       }
 
-      if (header && !comment && !allows(line, "nodiscard-parse-api")) {
+      if (header && !comment) {
         std::smatch m;
         if (std::regex_search(line, m, result_decl) &&
             line.find("using ") == std::string::npos) {
@@ -231,7 +228,7 @@ class Linter {
         }
       }
 
-      if (parser_dir && !comment && !allows(line, "no-c-style-int-cast") &&
+      if (parser_dir && !comment &&
           std::regex_search(line, c_int_cast)) {
         report(rel, lineno, "no-c-style-int-cast",
                "use static_cast for integer narrowing in parser code");
@@ -247,7 +244,7 @@ class Linter {
       }
 
       // --- thread discipline -------------------------------------------
-      if (!in_util_dir(rel) && !comment && !allows(line, "no-raw-std-mutex") &&
+      if (!in_util_dir(rel) && !comment &&
           std::regex_search(line, raw_mutex)) {
         report(rel, lineno, "no-raw-std-mutex",
                "use util::Mutex / util::MutexLock / util::CondVar from "
@@ -255,14 +252,14 @@ class Linter {
                "sees the lock");
       }
 
-      if (!in_util_dir(rel) && !comment && !allows(line, "no-raw-std-thread") &&
+      if (!in_util_dir(rel) && !comment &&
           std::regex_search(line, raw_thread)) {
         report(rel, lineno, "no-raw-std-thread",
                "shard work through util::ThreadPool instead of spawning raw "
                "std::thread");
       }
 
-      if (!comment && !allows(line, "no-thread-detach") &&
+      if (!comment &&
           std::regex_search(line, thread_detach)) {
         report(rel, lineno, "no-thread-detach",
                "detached threads outlive the state they touch; keep the "
@@ -273,17 +270,18 @@ class Linter {
       // up to two continuation lines) must name the reason string. The
       // netsim declaration itself (`void set_on_close(...)`) has no '['.
       if (close_reason_dir && !comment &&
-          !allows(line, "close-reason-handled") &&
           line.find("set_on_close(") != std::string::npos &&
           line.find('[') != std::string::npos) {
         std::string window = line;
+        std::size_t last = lineno;
         for (std::size_t ahead = 1; ahead <= 2 && index + ahead < lines.size();
              ++ahead) {
           window += ' ';
           window += lines[index + ahead];
+          last = lineno + ahead;
         }
         if (!std::regex_search(window, close_reason_bound)) {
-          report(rel, lineno, "close-reason-handled",
+          report(rel, lineno, last, "close-reason-handled",
                  "set_on_close handlers in browser/cdn/server must bind the "
                  "close reason (const std::string& reason) — it carries the "
                  "teardown cause the degradation layer keys on");
@@ -291,7 +289,6 @@ class Linter {
       }
 
       if (in_interned_hot_path(rel) && !comment &&
-          !allows(line, "no-string-keyed-tree") &&
           std::regex_search(line, string_keyed_tree)) {
         report(rel, lineno, "no-string-keyed-tree",
                "string-keyed std::map/std::set on the measurement->model hot "
@@ -299,7 +296,7 @@ class Linter {
                "util::FlatMap/util::FlatSet over SymbolIds (DESIGN.md #10)");
       }
 
-      if (!comment && !allows(line, "no-volatile-sync") &&
+      if (!comment &&
           std::regex_search(line, volatile_kw)) {
         report(rel, lineno, "no-volatile-sync",
                "volatile is not a synchronization primitive; use std::atomic "
@@ -317,7 +314,6 @@ class Linter {
               std::regex_search(line, access_specifier)) {
             in_guarded_block = false;
           } else if (line.find("GUARDED_BY") == std::string::npos &&
-                     !allows(line, "guarded-by-annotation") &&
                      line.find("Mutex") == std::string::npos &&
                      line.find("CondVar") == std::string::npos &&
                      line.find("atomic") == std::string::npos &&
@@ -344,58 +340,86 @@ class Linter {
 
   void report(const std::filesystem::path& rel, std::size_t line,
               std::string rule, std::string message) {
-    violations_.push_back(
-        Violation{rel.string(), line, std::move(rule), std::move(message)});
+    report(rel, line, line, std::move(rule), std::move(message));
   }
 
-  const std::vector<Violation>& violations() const { return violations_; }
-  bool io_error() const { return io_error_; }
+  // Multi-line matches (the close-reason lookahead window) carry the full
+  // span so the waiver can sit on any of its lines.
+  void report(const std::filesystem::path& rel, std::size_t line,
+              std::size_t end_line, std::string rule, std::string message) {
+    sink_.add(std::move(rule), rel.string(), line, std::move(message),
+              end_line);
+  }
 
  private:
-  std::vector<Violation> violations_;
-  bool io_error_ = false;
+  FindingSink& sink_;
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <source-dir>...\n", argv[0]);
+  std::string json_path;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "usage: %s [--json=FILE] <source-dir>...\n",
+                   argv[0]);
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "usage: %s [--json=FILE] <source-dir>...\n", argv[0]);
     return 2;
   }
 
-  Linter linter;
+  // One corpus per root: rel paths stay root-relative ("h2/frame.h"), which
+  // is what the directory-scoped rules key on.
+  std::vector<std::deque<FileModel>> corpora;
+  FindingSink sink;
+  Linter linter(sink);
   std::size_t files = 0;
-  for (int i = 1; i < argc; ++i) {
-    const std::filesystem::path root(argv[i]);
+  for (const std::string& root : roots) {
     std::error_code ec;
     if (!std::filesystem::is_directory(root, ec)) {
-      std::fprintf(stderr, "lint: not a directory: %s\n", argv[i]);
+      std::fprintf(stderr, "lint: not a directory: %s\n", root.c_str());
       return 2;
     }
-    std::vector<std::filesystem::path> paths;
-    for (const auto& entry :
-         std::filesystem::recursive_directory_iterator(root)) {
-      if (!entry.is_regular_file()) continue;
-      const auto ext = entry.path().extension();
-      if (ext != ".h" && ext != ".cc") continue;
-      paths.push_back(entry.path());
-    }
-    std::sort(paths.begin(), paths.end());
-    for (const auto& path : paths) {
-      linter.lint_file(path, std::filesystem::relative(path, root));
+    corpora.push_back(origin::analyze::load_corpus(root, {"."}));
+    for (const FileModel& model : corpora.back()) {
+      linter.lint_file(model);
       ++files;
     }
   }
 
-  for (const auto& v : linter.violations()) {
-    std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
-                 v.rule.c_str(), v.message.c_str());
+  sink.finalize(std::vector<origin::analyze::FileWaiver>{},
+                [&corpora](const std::string& file)
+                    -> const std::vector<std::string_view>& {
+                  static const std::vector<std::string_view> kNone;
+                  for (const auto& corpus : corpora) {
+                    for (const FileModel& m : corpus) {
+                      if (m.rel == file) return m.lines;
+                    }
+                  }
+                  return kNone;
+                });
+
+  const std::size_t unwaived = sink.print(std::cerr);
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::fprintf(stderr, "lint: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    sink.write_json(json);
   }
-  if (linter.io_error()) return 2;
-  if (!linter.violations().empty()) {
+  if (unwaived != 0) {
     std::fprintf(stderr, "lint: %zu violation(s) in %zu file(s) scanned\n",
-                 linter.violations().size(), files);
+                 unwaived, files);
     return 1;
   }
   std::printf("lint: %zu file(s) clean\n", files);
