@@ -45,7 +45,7 @@ constexpr std::size_t kLoadsPerCell = 40;
 const double kRates[] = {0.0, 0.02, 0.05, 0.10, 0.20};
 
 server::Handler body(const char* text) {
-  return [text](const std::string&) {
+  return [text](std::string_view) {
     server::Response response;
     response.body = origin::util::from_string(text);
     return response;

@@ -49,12 +49,12 @@ Outcome run_case(bool server_origin, int middlebox_kind) {
   }
   server::Http2Server server(config);
   server.set_certificate(cert);
-  server.add_vhost("www.shop.example", [](const std::string&) {
+  server.add_vhost("www.shop.example", [](std::string_view) {
     server::Response r;
     r.body = origin::util::from_string("<html>shop</html>");
     return r;
   });
-  server.add_vhost("static.shop.example", [](const std::string&) {
+  server.add_vhost("static.shop.example", [](std::string_view) {
     server::Response r;
     r.content_type = "application/javascript";
     r.body = origin::util::from_string("app();");

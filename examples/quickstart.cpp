@@ -45,12 +45,12 @@ int main() {
                        "https://static.example.com"};
   server::Http2Server server(config);
   server.set_certificate(cert);
-  server.add_vhost("www.example.com", [](const std::string& path) {
+  server.add_vhost("www.example.com", [](std::string_view path) {
     server::Response response;
-    response.body = util::from_string("<html>hello from " + path + "</html>");
+    response.body = util::from_string("<html>hello from " + std::string(path) + "</html>");
     return response;
   });
-  server.add_vhost("static.example.com", [](const std::string&) {
+  server.add_vhost("static.example.com", [](std::string_view) {
     server::Response response;
     response.content_type = "text/css";
     response.body = util::from_string("body { margin: 0 }");

@@ -393,7 +393,7 @@ void WireClient::open_connection(std::shared_ptr<LoadState> state,
           if (it == conn->streams.end()) return;
           const int resource_index = it->second.resource;
           const bool coalesced = it->second.coalesced;
-          const std::string status =
+          const std::string_view status =
               server::header_value(headers, ":status");
           auto& entry =
               state->har.entries[static_cast<std::size_t>(resource_index)];
@@ -425,7 +425,9 @@ void WireClient::open_connection(std::shared_ptr<LoadState> state,
           if (end_stream) {
             conn->streams.erase(it);
             complete_resource(state, resource_index, status == "200",
-                              status == "200" ? "" : "status " + status);
+                              status == "200"
+                                  ? ""
+                                  : "status " + std::string(status));
           }
         };
         callbacks.on_data = [this, weak_state, weak_conn](
@@ -611,6 +613,8 @@ void WireClient::send_request(std::shared_ptr<LoadState> state,
         const bool coalesced = it->second.coalesced;
         conn->streams.erase(it);
         if (conn->alive && conn->endpoint.open()) {
+          // analyze:allow(error-discard): best-effort cancel of a stream
+          // that already timed out; a failed RST_STREAM changes nothing
           (void)conn->h2->submit_rst_stream(sid, h2::ErrorCode::kCancel);
           if (conn->h2->has_output()) {
             conn->endpoint.send(conn->h2->take_output());

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "util/hot_path.h"
+
 namespace origin::h2 {
 
 namespace {
@@ -188,6 +190,8 @@ Result<Frame> parse_payload(std::uint8_t type_byte, std::uint8_t flags,
       OriginFrame f;
       while (r.remaining() >= 2) {
         std::uint16_t len = r.u16();
+        // analyze:allow(hot-transitive): ORIGIN is once-per-connection
+        // control traffic, not per-request serving work
         std::string entry = r.str(len);
         if (!r.ok()) return make_error("h2: ORIGIN truncated entry");
         f.origins.push_back(std::move(entry));
@@ -283,7 +287,7 @@ std::uint32_t stream_id_of(const Frame& frame) {
       frame);
 }
 
-Bytes serialize_frame(const Frame& frame) {
+ORIGIN_HOT Bytes serialize_frame(const Frame& frame) {
   ByteWriter w(32);
   std::visit(
       [&w](const auto& f) {
@@ -388,6 +392,8 @@ Result<std::vector<Frame>> FrameParser::feed(
       buffer_.clear();
       return frame.error();
     }
+    // analyze:allow(hot-transitive): per-feed frame batch is a few
+    // entries and returned to the caller; reserving would need a pre-scan
     frames.push_back(std::move(frame).value());
     consumed += 9u + length;
   }

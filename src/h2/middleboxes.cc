@@ -107,6 +107,8 @@ void FrameReorderingMiddlebox::transform(std::uint64_t connection_id,
                                static_cast<std::size_t>(bytes[pos + 2]);
     const std::size_t total = 9 + length;
     if (pos + total > bytes.size()) return;  // ends mid-frame
+    // analyze:allow(hot-transitive): bounded per-segment scratch —
+    // a TCP segment carries at most a handful of frame boundaries
     frames.emplace_back(pos, total);
     pos += total;
   }

@@ -68,10 +68,17 @@ ORIGIN_HOT bool OriginSet::contains(const Origin& candidate) const {
   return std::find(members_.begin(), members_.end(), candidate) != members_.end();
 }
 
-bool OriginSet::contains(std::string_view host) const {
-  Origin o;
-  o.host = origin::util::to_lower(host);
-  return contains(o);
+ORIGIN_HOT bool OriginSet::contains(std::string_view host) const {
+  // Member hosts are stored lowercase; comparing case-insensitively here
+  // avoids materializing a lowercased copy of the candidate on the frame
+  // inspection path.
+  for (const Origin& m : members_) {
+    if (m.scheme == "https" && m.port == 443 &&
+        origin::util::iequals_ascii(m.host, host)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace origin::h2

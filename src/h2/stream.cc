@@ -19,6 +19,8 @@ const char* stream_state_name(StreamState state) {
 
 origin::util::Status Stream::apply(StreamEvent event) {
   auto invalid = [&]() -> origin::util::Status {
+    // analyze:allow(hot-transitive): error path only — the message is
+    // built when a stream event is invalid, never in steady-state replay
     return origin::util::make_error(std::string("h2: invalid stream event in ") +
                                     stream_state_name(state_));
   };

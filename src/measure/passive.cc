@@ -85,10 +85,13 @@ ORIGIN_HOT PassivePipeline::Delta PassivePipeline::observe_one(const web::PageLo
 }
 
 void PassivePipeline::apply(Delta&& delta) {
+  // analyze:allow(hot-transitive): false call-graph edge — the analyzer's
+  // name-based member resolution unions `stream->apply(event)` with every
+  // `apply` method; this batch sink runs on the measurement side only
   records_.insert(records_.end(),
                   std::make_move_iterator(delta.records.begin()),
                   std::make_move_iterator(delta.records.end()));
-  // analyze:allow(det-unordered-iter): keyed commutative fold
+  // analyze:allow(det-unordered-iter): keyed commutative fold; per-key addition is order-independent
   for (const auto& [key, count] : delta.day_connections) {
     day_connections_[key] += count;
   }
@@ -118,7 +121,7 @@ void PassivePipeline::observe_batch(
 void PassivePipeline::merge(const PassivePipeline& other) {
   records_.insert(records_.end(), other.records_.begin(),
                   other.records_.end());
-  // analyze:allow(det-unordered-iter): keyed commutative fold
+  // analyze:allow(det-unordered-iter): keyed commutative fold; per-key addition is order-independent
   for (const auto& [key, count] : other.day_connections_) {
     day_connections_[key] += count;
   }

@@ -180,11 +180,15 @@ void Network::deliver(std::uint64_t id, bool from_client, Bytes bytes) {
       ++stats_.injected_faults;
       switch (plan.kind) {
         case FaultKind::kRst:
+          // analyze:allow(hot-transitive): fault-injection branch
+          // only — the teardown reason is off the steady-state path
           teardown(id, std::string("injected: rst (") +
                            fault_kind_name(plan.kind) + ")");
           return;
         case FaultKind::kTruncate: {
           const std::size_t keep = bytes.size() / 2;
+          // analyze:allow(hot-transitive): shrinking resize never
+          // reallocates; keep is always <= the current size
           bytes.resize(keep);
           if (bytes.empty()) return;
           break;

@@ -1,5 +1,7 @@
 #include "server/http2_server.h"
 
+#include <charconv>
+
 #include "util/hot_path.h"
 
 namespace origin::server {
@@ -51,9 +53,12 @@ void Http2Server::accept(netsim::TcpEndpoint endpoint) {
   // the deployment's kill-switch has disabled ORIGIN for this client tag.
   if (!config_.origin_set.empty()) {
     if (!config_.origin_gate || config_.origin_gate(session->client_tag)) {
-      (void)session->connection->submit_origin(config_.origin_set);
-      ++stats_.origin_frames_sent;
-      session->origin_sent = true;
+      if (session->connection->submit_origin(config_.origin_set).ok()) {
+        ++stats_.origin_frames_sent;
+        session->origin_sent = true;
+      } else {
+        ++stats_.submit_failures;
+      }
     } else {
       ++stats_.origin_frames_suppressed;
     }
@@ -85,11 +90,36 @@ void Http2Server::accept(netsim::TcpEndpoint endpoint) {
   sessions_.push_back(std::move(session));
 }
 
-void Http2Server::handle_request(Session& session, std::uint32_t stream_id,
-                                 const hpack::HeaderList& headers) {
+namespace {
+
+// Digits for :status / content-length without std::to_string: the common
+// statuses come from a table, anything else lands in the caller's buffer.
+std::string_view status_text(int status, char (&buf)[8]) {
+  switch (status) {
+    case 200:
+      return "200";
+    case 404:
+      return "404";
+    case 421:
+      return "421";
+  }
+  const auto result = std::to_chars(buf, buf + sizeof(buf), status);
+  return {buf, static_cast<std::size_t>(result.ptr - buf)};
+}
+
+std::string_view size_text(std::size_t n, char (&buf)[24]) {
+  const auto result = std::to_chars(buf, buf + sizeof(buf), n);
+  return {buf, static_cast<std::size_t>(result.ptr - buf)};
+}
+
+}  // namespace
+
+ORIGIN_HOT void Http2Server::handle_request(
+    Session& session, std::uint32_t stream_id,
+    const hpack::HeaderList& headers) {
   ++stats_.requests;
-  const std::string authority = header_value(headers, ":authority");
-  const std::string path = header_value(headers, ":path");
+  const std::string_view authority = header_value(headers, ":authority");
+  const std::string_view path = header_value(headers, ":path");
 
   auto vhost = vhosts_.find(authority);
   if (vhost == vhosts_.end()) {
@@ -97,12 +127,15 @@ void Http2Server::handle_request(Session& session, std::uint32_t stream_id,
     // content for it: 421 tells the client to retry on a fresh connection
     // (RFC 9113 §8.1.2; paper §2.2). The certificate stays valid.
     ++stats_.responses_421;
-    (void)session.connection->submit_response(
+    auto st = session.connection->submit_response(
         stream_id,
         {{":status", "421"}, {"content-type", "text/plain"}}, false);
-    (void)session.connection->submit_data(
-        stream_id, origin::util::from_string("421 Misdirected Request"),
-        true);
+    if (st.ok()) {
+      st = session.connection->submit_data(
+          stream_id, origin::util::from_string("421 Misdirected Request"),
+          true);
+    }
+    if (!st.ok()) ++stats_.submit_failures;
     flush(session);
     return;
   }
@@ -113,15 +146,21 @@ void Http2Server::handle_request(Session& session, std::uint32_t stream_id,
   } else if (response.status == 404) {
     ++stats_.responses_404;
   }
-  (void)session.connection->submit_response(
+  char status_buf[8];
+  char length_buf[24];
+  // The hpack HeaderList API takes owned strings; status and length
+  // digits are SSO-small, so these constructions never allocate.
+  auto st = session.connection->submit_response(
       stream_id,
-      {{":status", std::to_string(response.status)},
+      {{":status", std::string(status_text(response.status, status_buf))},  // analyze:allow(hot-string-construct): SSO-small status digits, never reaches the allocator
        {"content-type", response.content_type},
-       {"content-length", std::to_string(response.body.size())}},
+       {"content-length",
+        std::string(size_text(response.body.size(), length_buf))}},  // analyze:allow(hot-string-construct): SSO-small length digits, never reaches the allocator
       response.body.empty());
-  if (!response.body.empty()) {
-    (void)session.connection->submit_data(stream_id, response.body, true);
+  if (st.ok() && !response.body.empty()) {
+    st = session.connection->submit_data(stream_id, response.body, true);
   }
+  if (!st.ok()) ++stats_.submit_failures;
   flush(session);
 }
 
@@ -133,8 +172,8 @@ hpack::HeaderList make_get_request(const std::string& authority,
           {":path", path}};
 }
 
-std::string header_value(const hpack::HeaderList& headers,
-                         const std::string& name) {
+std::string_view header_value(const hpack::HeaderList& headers,
+                              std::string_view name) {
   for (const auto& header : headers) {
     if (header.name == name) return header.value;
   }

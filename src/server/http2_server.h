@@ -15,6 +15,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "h2/connection.h"
@@ -30,7 +31,7 @@ struct Response {
   origin::util::Bytes body;
 };
 
-using Handler = std::function<Response(const std::string& path)>;
+using Handler = std::function<Response(std::string_view path)>;
 
 struct VirtualHost {
   std::string hostname;
@@ -88,6 +89,9 @@ class Http2Server {
     // Connections where the origin_gate vetoed the advertisement.
     std::uint64_t origin_frames_suppressed = 0;
     std::uint64_t h2_protocol_errors = 0;
+    // submit_* rejected a frame (closed stream, exhausted window): the
+    // response was dropped rather than silently half-sent.
+    std::uint64_t submit_failures = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -107,7 +111,9 @@ class Http2Server {
   void flush(Session& session);
 
   ServerConfig config_;
-  std::map<std::string, Handler> vhosts_;
+  // less<> enables lookup by the string_view :authority without an
+  // allocated key copy.
+  std::map<std::string, Handler, std::less<>> vhosts_;
   tls::CertStore certs_;
   std::vector<std::shared_ptr<Session>> sessions_;
   Stats stats_;
@@ -117,8 +123,9 @@ class Http2Server {
 hpack::HeaderList make_get_request(const std::string& authority,
                                    const std::string& path);
 
-// Extracts a pseudo-header value ("" when absent).
-std::string header_value(const hpack::HeaderList& headers,
-                         const std::string& name);
+// Extracts a pseudo-header value ("" when absent). The view borrows from
+// `headers` and is valid only while the list is alive.
+std::string_view header_value(const hpack::HeaderList& headers,
+                              std::string_view name);
 
 }  // namespace origin::server

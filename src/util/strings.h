@@ -11,6 +11,9 @@ namespace origin::util {
 std::vector<std::string> split(std::string_view s, char sep);
 std::string join(const std::vector<std::string>& parts, std::string_view sep);
 std::string to_lower(std::string_view s);
+// ASCII case-insensitive equality; allocation-free, for hot-path host
+// comparisons where to_lower()'s temporary is not acceptable.
+bool iequals_ascii(std::string_view a, std::string_view b);
 bool starts_with(std::string_view s, std::string_view prefix);
 bool ends_with(std::string_view s, std::string_view suffix);
 

@@ -111,6 +111,9 @@ void ThreadPool::parallel_for_index(
   std::exception_ptr error;
   {
     MutexLock lock(&job_mu_);
+    // analyze:allow(lock-wait-while-holding): caller_mu_ only serializes
+    // concurrent callers of run(); workers signal done_cv_ under job_mu_
+    // alone and never take caller_mu_, so the wait cannot deadlock
     while (outstanding_chunks_ != 0) done_cv_.wait(job_mu_);
     body_ = nullptr;
     error = first_error_;

@@ -27,7 +27,7 @@ using netsim::FaultKind;
 using origin::util::SimTime;
 
 server::Handler static_body(std::string body) {
-  return [body = std::move(body)](const std::string&) {
+  return [body = std::move(body)](std::string_view) {
     server::Response response;
     response.body = origin::util::from_string(body);
     return response;

@@ -439,7 +439,7 @@ browser::WireLoadResult run_pinned_load(
   config.origin_set = {"https://www.site.com", "https://static.site.com"};
   server::Http2Server server(config);
   server.set_certificate(cert);
-  auto handler = [](const std::string&) {
+  auto handler = [](std::string_view) {
     server::Response response;
     response.body = origin::util::from_string("ok");
     return response;

@@ -14,7 +14,7 @@ using dns::IpAddress;
 using origin::util::SimTime;
 
 server::Handler static_body(std::string body) {
-  return [body = std::move(body)](const std::string&) {
+  return [body = std::move(body)](std::string_view) {
     server::Response response;
     response.body = origin::util::from_string(body);
     return response;

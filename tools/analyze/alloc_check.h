@@ -1,0 +1,35 @@
+// Shared allocation-discipline body check.
+//
+// The intraprocedural alloc pass (ORIGIN_HOT functions) and the
+// interprocedural hot-transitive pass (unannotated functions reachable from
+// ORIGIN_HOT roots) enforce the same body-level rules; this is the single
+// implementation both feed through. See pass_alloc.cc for the rule
+// catalogue.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "model.h"
+
+namespace origin::analyze {
+
+struct AllocViolation {
+  const char* rule;  // "hot-new", "hot-string-construct", ...
+  std::size_t line = 0;
+  std::string message;  // rule-specific, without the function-name suffix
+};
+
+// Scans [body_begin, body_end) of `file`'s token stream for allocation
+// violations. `params` sanctions Scratch/ByteWriter receivers and feeds the
+// hot-owning-copy parameter rule (pass `check_params = false` to skip it —
+// the transitive pass only owns the body contract, a callee's by-value
+// parameters are its signature's business only when it is itself annotated).
+void collect_alloc_violations(const FileModel& file, std::size_t body_begin,
+                              std::size_t body_end,
+                              const std::vector<HotParam>& params,
+                              bool check_params,
+                              std::vector<AllocViolation>& out);
+
+}  // namespace origin::analyze

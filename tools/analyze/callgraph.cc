@@ -1,0 +1,547 @@
+#include "callgraph.h"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace origin::analyze {
+
+namespace {
+
+// Identifier keywords that introduce a parenthesized expression which is
+// neither a call nor a function definition.
+const std::unordered_set<std::string_view> kControlKeywords = {
+    "if",       "for",      "while",    "switch",   "catch",
+    "return",   "sizeof",   "alignof",  "decltype", "noexcept",
+    "static_assert", "new", "delete",   "throw",    "co_await",
+    "co_return", "co_yield", "requires", "alignas",  "typeid",
+    "assert",   "defined",
+};
+
+// Builtin type spellings: `int(x)` and friends are functional casts.
+const std::unordered_set<std::string_view> kBuiltinTypes = {
+    "int",  "char", "bool",  "auto",   "void",
+    "long", "short", "float", "double", "unsigned", "signed",
+};
+
+// Keywords that may legitimately precede a call expression even though they
+// tokenize as identifiers (`return foo();`).
+const std::unordered_set<std::string_view> kCallPrefixKeywords = {
+    "return", "else", "do", "throw", "case", "co_return", "co_await",
+    "co_yield",
+};
+
+// Member names shared with the std container/smart-pointer/atomic API.
+// A member call through one of these is overwhelmingly a library call on a
+// std receiver, and resolving it by bare name against every same-named
+// corpus method manufactures wild edges (`x.size()` is not Interner::size,
+// `flags.load()` is not PageLoader::load). Treated as external — the
+// corresponding corpus methods are still reachable through qualified and
+// implicit-this calls.
+const std::unordered_set<std::string_view> kCommonMemberNames = {
+    "size",     "empty",   "clear",  "begin",   "end",     "rbegin",
+    "rend",     "find",    "count",  "at",      "front",   "back",
+    "data",     "push_back", "pop_back", "insert", "erase", "emplace",
+    "emplace_back", "reserve", "resize", "swap", "load",    "store",
+    "exchange", "get",     "reset",  "release", "lock",    "unlock",
+    "try_lock", "str",     "c_str",  "substr",  "append",  "assign",
+    "length",   "value",   "has_value", "first", "second",
+};
+
+bool is_macro_name(std::string_view name) {
+  if (name.size() < 2) return false;
+  bool has_alpha = false;
+  for (const char c : name) {
+    if (std::isupper(static_cast<unsigned char>(c)) != 0) {
+      has_alpha = true;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) == 0 &&
+               c != '_') {
+      return false;
+    }
+  }
+  return has_alpha;
+}
+
+// Walks a `A :: B :: name` chain backwards from the name token. Returns the
+// index of the chain's first token and fills `qualifier` with the joined
+// components before the final name ("A::B", empty when unqualified).
+std::size_t walk_qualifier(const std::vector<Token>& toks, std::size_t name_at,
+                           std::string& qualifier) {
+  std::size_t start = name_at;
+  while (start >= 2 && is_punct(toks[start - 1], "::") &&
+         toks[start - 2].kind == TokenKind::kIdentifier) {
+    start -= 2;
+  }
+  qualifier.clear();
+  for (std::size_t i = start; i < name_at; i += 2) {
+    if (!qualifier.empty()) qualifier += "::";
+    qualifier += toks[i].text;
+  }
+  return start;
+}
+
+std::string_view qualifier_head(const std::string& qualifier) {
+  const std::size_t sep = qualifier.find("::");
+  return sep == std::string::npos
+             ? std::string_view(qualifier)
+             : std::string_view(qualifier).substr(0, sep);
+}
+
+std::string_view qualifier_tail(const std::string& qualifier) {
+  const std::size_t sep = qualifier.rfind("::");
+  return sep == std::string::npos
+             ? std::string_view(qualifier)
+             : std::string_view(qualifier).substr(sep + 2);
+}
+
+// After the parameter list's ')', finds the body '{' of a definition,
+// skipping cv/ref/noexcept/override/final, trailing return types, and
+// constructor member-initializer lists. Returns tokens.size() when the
+// signature turns out to be a declaration or expression.
+std::size_t find_body_open(const std::vector<Token>& toks,
+                           std::size_t params_close) {
+  std::size_t i = params_close + 1;
+  bool in_init_list = false;
+  while (i < toks.size()) {
+    const Token& t = toks[i];
+    if (is_punct(t, ";") || is_punct(t, ",")) return toks.size();
+    if (is_punct(t, "=")) return toks.size();  // `= default`, `= 0`
+    if (is_punct(t, "(") || is_punct(t, "[")) {
+      // noexcept(...), attribute, or a member-initializer's argument list.
+      const std::size_t close = match_forward(
+          toks, i, is_punct(t, "(") ? "(" : "[", is_punct(t, "(") ? ")" : "]");
+      if (close == toks.size()) return toks.size();
+      i = close + 1;
+      continue;
+    }
+    if (is_punct(t, "<")) {
+      const std::size_t close = match_forward(toks, i, "<", ">");
+      if (close == toks.size()) return toks.size();
+      i = close + 1;
+      continue;
+    }
+    if (is_punct(t, ":") && !in_init_list) {
+      // Constructor member-initializer list; braced initializers inside it
+      // are consumed below.
+      in_init_list = true;
+      ++i;
+      continue;
+    }
+    if (is_punct(t, "{")) {
+      if (in_init_list && i > 0 &&
+          (toks[i - 1].kind == TokenKind::kIdentifier ||
+           is_punct(toks[i - 1], ">"))) {
+        // `member{...}` braced initializer, not the body.
+        const std::size_t close = match_forward(toks, i, "{", "}");
+        if (close == toks.size()) return toks.size();
+        i = close + 1;
+        continue;
+      }
+      return i;
+    }
+    ++i;
+  }
+  return toks.size();
+}
+
+// Leading declaration specifiers stripped from return-type text.
+const std::unordered_set<std::string_view> kSpecifiers = {
+    "static", "inline", "constexpr", "consteval", "virtual", "explicit",
+    "extern", "friend",  "ORIGIN_HOT", "typename",
+};
+
+struct ClassScope {
+  std::string name;
+  std::size_t close = 0;  // token index of the class body's '}'
+};
+
+// Parses the `operator` spelling starting at token `op` ("operator"),
+// returning the index of the parameter-list '(' and the composed name
+// ("operator()", "operator==", "operator bool"). Returns tokens.size() on
+// anything unexpected.
+std::size_t parse_operator_name(const std::vector<Token>& toks,
+                                std::size_t op, std::string& name) {
+  name = "operator";
+  std::size_t i = op + 1;
+  if (i + 1 < toks.size() && is_punct(toks[i], "(") &&
+      is_punct(toks[i + 1], ")")) {
+    name += "()";
+    return i + 2;
+  }
+  if (i + 1 < toks.size() && is_punct(toks[i], "[") &&
+      is_punct(toks[i + 1], "]")) {
+    name += "[]";
+    return i + 2;
+  }
+  while (i < toks.size() && !is_punct(toks[i], "(")) {
+    if (toks[i].kind == TokenKind::kIdentifier) {
+      name += ' ';
+      name += toks[i].text;
+    } else {
+      name += toks[i].text;
+    }
+    ++i;
+    // Conversion operators can spell a qualified type; bail on anything
+    // that drags on (not a definition we model).
+    if (name.size() > 48) return toks.size();
+  }
+  return i;
+}
+
+void collect_definitions(const std::deque<FileModel>& corpus,
+                         std::vector<FunctionDef>& defs) {
+  for (std::size_t file_idx = 0; file_idx < corpus.size(); ++file_idx) {
+    const FileModel& file = corpus[file_idx];
+    const std::vector<Token>& toks = file.tokens;
+    std::vector<ClassScope> scopes;
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      while (!scopes.empty() && scopes.back().close < i) scopes.pop_back();
+      const Token& t = toks[i];
+      if (t.kind != TokenKind::kIdentifier) continue;
+
+      // Class / struct scope entry. `enum class` is not a scope.
+      if ((t.text == "class" || t.text == "struct") &&
+          (i == 0 || !is_ident(toks[i - 1], "enum"))) {
+        std::string name;
+        std::size_t j = i + 1;
+        for (; j < toks.size(); ++j) {
+          if (is_punct(toks[j], ";") || is_punct(toks[j], "{") ||
+              is_punct(toks[j], ":") || is_punct(toks[j], ")")) {
+            break;
+          }
+          if (toks[j].kind == TokenKind::kIdentifier &&
+              !is_macro_name(toks[j].text) && toks[j].text != "final") {
+            name = std::string(toks[j].text);
+          }
+          if (is_punct(toks[j], "(")) {  // attribute-macro argument list
+            j = match_forward(toks, j, "(", ")");
+            if (j == toks.size()) break;
+          }
+          if (is_punct(toks[j], "<")) {  // template-id in specializations
+            j = match_forward(toks, j, "<", ">");
+            if (j == toks.size()) break;
+          }
+        }
+        // Find the body '{' (skipping the base clause); ';' first means a
+        // forward declaration.
+        for (; j < toks.size(); ++j) {
+          if (is_punct(toks[j], ";")) break;
+          if (is_punct(toks[j], "{")) {
+            const std::size_t close = match_forward(toks, j, "{", "}");
+            if (close != toks.size() && !name.empty()) {
+              scopes.push_back(ClassScope{std::move(name), close});
+            }
+            i = j;  // continue scanning inside the class body
+            break;
+          }
+        }
+        continue;
+      }
+
+      // Candidate definition: `name (` or `operator...(`.
+      std::string op_name;
+      std::size_t open = toks.size();
+      std::size_t name_at = i;
+      if (t.text == "operator") {
+        open = parse_operator_name(toks, i, op_name);
+        if (open == toks.size() || !is_punct(toks[open], "(")) continue;
+      } else {
+        if (i + 1 >= toks.size() || !is_punct(toks[i + 1], "(")) continue;
+        if (kControlKeywords.count(t.text) > 0 ||
+            kBuiltinTypes.count(t.text) > 0 || is_macro_name(t.text)) {
+          continue;
+        }
+        open = i + 1;
+      }
+
+      std::string qualifier;
+      const std::size_t chain_start = walk_qualifier(toks, name_at, qualifier);
+      const bool is_dtor =
+          chain_start > 0 && is_punct(toks[chain_start - 1], "~");
+      const std::size_t before =
+          chain_start == 0 ? 0 : chain_start - (is_dtor ? 2 : 1);
+
+      // The token before the (possibly qualified) name decides whether this
+      // can be a definition at all: a member access or an operator means we
+      // are looking at an expression.
+      if (chain_start > 0 && !is_dtor) {
+        const Token& prev = toks[chain_start - 1];
+        if (prev.kind == TokenKind::kIdentifier) {
+          if (kCallPrefixKeywords.count(prev.text) > 0) continue;
+        } else if (prev.kind == TokenKind::kPunct) {
+          static const std::unordered_set<std::string_view> kDefPrevPunct = {
+              "}", "{", ";", ":", "*", "&", ">", "]",
+          };
+          if (kDefPrevPunct.count(prev.text) == 0) continue;
+        } else if (prev.kind != TokenKind::kPreprocessor) {
+          continue;
+        }
+      }
+
+      const std::size_t close = match_forward(toks, open, "(", ")");
+      if (close == toks.size()) continue;
+      const std::size_t body_open = find_body_open(toks, close);
+      if (body_open == toks.size()) continue;
+      const std::size_t body_close = match_forward(toks, body_open, "{", "}");
+      if (body_close == toks.size()) continue;
+
+      FunctionDef def;
+      def.name = op_name.empty() ? std::string(t.text) : op_name;
+      if (is_dtor) def.name = "~" + def.name;
+      def.file = file_idx;
+      def.line = t.line;
+      def.body_begin = body_open + 1;
+      def.body_end = body_close;
+      parse_param_list(toks, open, close, def.params);
+
+      if (!qualifier.empty()) {
+        def.class_name = std::string(qualifier_tail(qualifier));
+        def.is_method = true;
+      } else if (!scopes.empty()) {
+        def.class_name = scopes.back().name;
+        def.is_method = true;
+      }
+
+      // Return type and hot marker: the identifier/punct run before the
+      // name chain, back to the previous statement boundary.
+      std::size_t rt_begin = before;
+      while (rt_begin > 0) {
+        const Token& b = toks[rt_begin - 1];
+        if (b.kind == TokenKind::kPreprocessor) break;
+        if (b.kind == TokenKind::kPunct &&
+            (b.text == ";" || b.text == "}" || b.text == "{" ||
+             b.text == ":" || b.text == ")")) {
+          break;
+        }
+        --rt_begin;
+      }
+      for (std::size_t k = rt_begin; chain_start > 0 && k < chain_start - 0;
+           ++k) {
+        if (is_ident(toks[k], "ORIGIN_HOT")) def.is_hot = true;
+      }
+      {
+        std::vector<Token> rt;
+        for (std::size_t k = rt_begin;
+             k < (chain_start == 0 ? name_at : chain_start); ++k) {
+          if (toks[k].kind == TokenKind::kIdentifier &&
+              kSpecifiers.count(toks[k].text) > 0) {
+            continue;
+          }
+          rt.push_back(toks[k]);
+        }
+        def.return_type_text = join_tokens(rt, 0, rt.size());
+      }
+
+      defs.push_back(std::move(def));
+      // Continue scanning *inside* the body: local structs and lambdas are
+      // walked by the same loop; call-site extraction is a separate pass.
+    }
+  }
+}
+
+void extract_calls(const CallGraph& graph_so_far,
+                   const std::deque<FileModel>& corpus,
+                   const std::vector<FunctionDef>& defs,
+                   std::vector<CallSite>& calls) {
+  (void)graph_so_far;
+  for (std::size_t fn = 0; fn < defs.size(); ++fn) {
+    const FunctionDef& def = defs[fn];
+    const std::vector<Token>& toks = corpus[def.file].tokens;
+    for (std::size_t i = def.body_begin; i < def.body_end; ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      if (i + 1 >= def.body_end || !is_punct(toks[i + 1], "(")) continue;
+      if (t.text == "operator") continue;  // operator invocation spelling
+      if (kControlKeywords.count(t.text) > 0 ||
+          kBuiltinTypes.count(t.text) > 0 || is_macro_name(t.text)) {
+        continue;
+      }
+
+      CallSite site;
+      site.caller = fn;
+      site.name = std::string(t.text);
+      const std::size_t chain_start = walk_qualifier(toks, i, site.qualifier);
+      if (chain_start > 0) {
+        const Token& prev = toks[chain_start - 1];
+        if (is_punct(prev, ".") || is_punct(prev, "->")) {
+          site.is_member_call = true;
+          site.receiver_is_this =
+              is_punct(prev, "->") && chain_start >= 2 &&
+              is_ident(toks[chain_start - 2], "this");
+        } else if (prev.kind == TokenKind::kIdentifier &&
+                   kCallPrefixKeywords.count(prev.text) == 0) {
+          // `Type name(...)`: a declaration, not a call.
+          continue;
+        } else if (is_punct(prev, "~")) {
+          continue;  // destructor mention
+        }
+      }
+      site.token_index = i;
+      site.line = t.line;
+      calls.push_back(std::move(site));
+    }
+  }
+}
+
+}  // namespace
+
+CallGraph CallGraph::build(const std::deque<FileModel>& corpus) {
+  CallGraph graph;
+  graph.corpus_ = &corpus;
+  collect_definitions(corpus, graph.functions_);
+  extract_calls(graph, corpus, graph.functions_, graph.calls_);
+
+  // Name indexes for resolution.
+  std::unordered_map<std::string, std::vector<std::size_t>> by_qual;
+  std::unordered_map<std::string, std::vector<std::size_t>> free_by_name;
+  std::unordered_map<std::string, std::vector<std::size_t>> methods_by_name;
+  for (std::size_t i = 0; i < graph.functions_.size(); ++i) {
+    const FunctionDef& def = graph.functions_[i];
+    if (def.is_method) {
+      by_qual[def.qualified()].push_back(i);
+      methods_by_name[def.name].push_back(i);
+    } else {
+      free_by_name[def.name].push_back(i);
+    }
+  }
+
+  for (CallSite& call : graph.calls_) {
+    const FunctionDef& caller = graph.functions_[call.caller];
+    auto resolve_from =
+        [&](const std::unordered_map<std::string, std::vector<std::size_t>>&
+                index,
+            const std::string& key) {
+          const auto it = index.find(key);
+          if (it == index.end()) return false;
+          call.targets = it->second;
+          call.resolution = CallResolution::kResolved;
+          return true;
+        };
+
+    if (call.is_member_call) {
+      // `this->f()` always means the caller's own class, even for a name
+      // that collides with the std member API.
+      if (call.receiver_is_this && caller.is_method &&
+          resolve_from(by_qual, caller.class_name + "::" + call.name)) {
+        continue;
+      }
+      if (kCommonMemberNames.count(call.name) > 0) {
+        call.resolution = CallResolution::kExternal;
+        continue;
+      }
+      // Other receivers prefer the caller's own class (sibling objects are
+      // common) before the corpus-wide method index.
+      if (caller.is_method &&
+          resolve_from(by_qual, caller.class_name + "::" + call.name)) {
+        continue;
+      }
+      if (resolve_from(methods_by_name, call.name)) continue;
+      // Member call on a type the corpus does not define a method for:
+      // overwhelmingly std/library receivers.
+      call.resolution = CallResolution::kExternal;
+      continue;
+    }
+    if (!call.qualifier.empty()) {
+      if (resolve_from(by_qual, std::string(qualifier_tail(call.qualifier)) +
+                                    "::" + call.name)) {
+        continue;
+      }
+      if (resolve_from(free_by_name, call.name)) continue;
+      if (resolve_from(methods_by_name, call.name)) continue;
+      call.resolution = qualifier_head(call.qualifier) == "std"
+                            ? CallResolution::kExternal
+                            : CallResolution::kUnresolved;
+      continue;
+    }
+    // Unqualified: implicit-this first, then free functions.
+    if (caller.is_method &&
+        resolve_from(by_qual, caller.class_name + "::" + call.name)) {
+      continue;
+    }
+    if (resolve_from(free_by_name, call.name)) continue;
+    call.resolution = CallResolution::kUnresolved;
+  }
+
+  // Adjacency.
+  graph.callees_.assign(graph.functions_.size(), {});
+  graph.sites_of_.assign(graph.functions_.size(), {});
+  for (std::size_t c = 0; c < graph.calls_.size(); ++c) {
+    const CallSite& call = graph.calls_[c];
+    graph.sites_of_[call.caller].push_back(c);
+    for (const std::size_t target : call.targets) {
+      std::vector<std::size_t>& out = graph.callees_[call.caller];
+      if (std::find(out.begin(), out.end(), target) == out.end()) {
+        out.push_back(target);
+      }
+    }
+  }
+  return graph;
+}
+
+bool CallGraph::returns_result_or_status(std::size_t fn) const {
+  const std::string& rt = functions_[fn].return_type_text;
+  // Token-level match: `util :: Result < T >` / `Status`, but not
+  // WireLoadResult or RobustnessStats.
+  std::size_t at = 0;
+  for (const std::string_view needle : {"Result", "Status"}) {
+    at = 0;
+    while ((at = rt.find(needle, at)) != std::string::npos) {
+      const bool left_ok = at == 0 || rt[at - 1] == ' ';
+      const std::size_t end = at + needle.size();
+      const bool right_ok = end == rt.size() || rt[end] == ' ';
+      if (left_ok && right_ok) return true;
+      at = end;
+    }
+  }
+  return false;
+}
+
+std::size_t CallGraph::report_unresolved(std::ostream& out) const {
+  std::size_t unresolved = 0;
+  std::size_t external = 0;
+  std::vector<std::string> lines;
+  for (const CallSite& call : calls_) {
+    if (call.resolution == CallResolution::kResolved) continue;
+    if (call.resolution == CallResolution::kExternal) {
+      ++external;
+      continue;
+    }
+    ++unresolved;
+    const FunctionDef& caller = functions_[call.caller];
+    lines.push_back((*corpus_)[caller.file].rel + ":" +
+                    std::to_string(call.line) + ": unresolved call to '" +
+                    (call.qualifier.empty() ? call.name
+                                            : call.qualifier +
+                                                  "::" + call.name) +
+                    "' from " + caller.qualified());
+  }
+  std::sort(lines.begin(), lines.end());
+  lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+  for (const std::string& line : lines) out << line << '\n';
+  out << "callgraph: " << unresolved << " unresolved call sites ("
+      << external << " external/library, " << calls_.size() << " total)\n";
+  return unresolved;
+}
+
+void CallGraph::dump(std::ostream& out) const {
+  out << "callgraph: " << functions_.size() << " function definitions, "
+      << calls_.size() << " call sites\n";
+  for (std::size_t i = 0; i < functions_.size(); ++i) {
+    const FunctionDef& def = functions_[i];
+    out << (*corpus_)[def.file].rel << ":" << def.line << ": "
+        << def.qualified() << (def.is_hot ? " [hot]" : "");
+    if (!callees_[i].empty()) {
+      out << " ->";
+      for (const std::size_t callee : callees_[i]) {
+        out << ' ' << functions_[callee].qualified();
+      }
+    }
+    out << '\n';
+  }
+  report_unresolved(out);
+}
+
+}  // namespace origin::analyze

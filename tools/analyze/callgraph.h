@@ -1,0 +1,115 @@
+// Interprocedural call graph over the modeled corpus.
+//
+// The graph is built from the same token streams the intraprocedural passes
+// walk: every function *definition* in the corpus becomes a node (free
+// functions, class methods defined inline or out of line, constructors,
+// operator overloads), and every `name(...)` expression inside a body
+// becomes a call site. Resolution is heuristic and name-based — this is not
+// a linker:
+//
+//   * `Class::f(...)` and out-of-line `Class::f` definitions match by
+//     qualified name; bare `ns::f(...)` calls fall back to the unqualified
+//     free-function index (namespace blocks are not tracked).
+//   * `x.f(...)` / `x->f(...)` member calls resolve only against method
+//     definitions (free functions with the same name are never candidates);
+//     plain `f(...)` calls inside a method of class C prefer C::f, then
+//     free functions, then a unique corpus-wide match of any kind.
+//   * ALL_CAPS identifiers are treated as macro invocations, `operator` is
+//     never a callee name, and string/char literal contents were already
+//     collapsed by the tokenizer — none of these produce edges.
+//
+// Known blind spots, by design (documented in DESIGN.md §12): virtual
+// dispatch resolves to every same-named method, function pointers and
+// std::function targets produce no edge, and templates are matched purely
+// by spelling. Calls that name a function the corpus does not define are
+// kept in an explicit unresolved-call report (split into std/external and
+// genuinely unknown) rather than silently dropped.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model.h"
+
+namespace origin::analyze {
+
+// One function definition found in the corpus. Token indices point into
+// the owning FileModel's token stream.
+struct FunctionDef {
+  std::string name;        // unqualified spelling ("flush", "operator()")
+  std::string class_name;  // enclosing class or out-of-line qualifier; ""
+                           // for free functions
+  std::size_t file = 0;    // index into the corpus deque
+  std::size_t line = 0;
+  std::size_t body_begin = 0;  // first token inside the body
+  std::size_t body_end = 0;    // token index of the closing '}'
+  std::string return_type_text;  // joined spelling, "" for ctors/dtors
+  std::vector<HotParam> params;
+  bool is_hot = false;     // carries an ORIGIN_HOT marker
+  bool is_method = false;
+
+  std::string qualified() const {
+    return class_name.empty() ? name : class_name + "::" + name;
+  }
+};
+
+enum class CallResolution {
+  kResolved,    // one or more corpus definitions matched
+  kExternal,    // std:: or another qualifier the corpus never defines
+  kUnresolved,  // unqualified/member name with no corpus definition
+};
+
+struct CallSite {
+  std::size_t caller = 0;       // index into CallGraph::functions()
+  std::string name;             // callee name as written
+  std::string qualifier;        // "Class" / "ns" chain before ::, or ""
+  bool is_member_call = false;   // x.f() / x->f() / this->f()
+  bool receiver_is_this = false;  // literally `this->f()`
+  std::size_t token_index = 0;  // index of the callee-name token
+  std::size_t line = 0;
+  CallResolution resolution = CallResolution::kUnresolved;
+  std::vector<std::size_t> targets;  // resolved FunctionDef indices
+};
+
+class CallGraph {
+ public:
+  static CallGraph build(const std::deque<FileModel>& corpus);
+
+  const std::deque<FileModel>& corpus() const { return *corpus_; }
+  const std::vector<FunctionDef>& functions() const { return functions_; }
+  const std::vector<CallSite>& calls() const { return calls_; }
+
+  // Deduplicated callee indices per function.
+  const std::vector<std::vector<std::size_t>>& callees() const {
+    return callees_;
+  }
+  // Call sites grouped by caller (indices into calls()).
+  const std::vector<std::vector<std::size_t>>& sites_of() const {
+    return sites_of_;
+  }
+
+  // Functions whose return type spells util::Result or util::Status.
+  bool returns_result_or_status(std::size_t fn) const;
+
+  // The explicit unresolved-call report: "<file>:<line> name (kind)" lines
+  // for every call site that did not resolve to a corpus definition,
+  // external std/library calls listed separately. Returns the count of
+  // genuinely unresolved (non-external) sites.
+  std::size_t report_unresolved(std::ostream& out) const;
+
+  // Human-readable dump of definitions, edges, and the unresolved report.
+  void dump(std::ostream& out) const;
+
+ private:
+  const std::deque<FileModel>* corpus_ = nullptr;
+  std::vector<FunctionDef> functions_;
+  std::vector<CallSite> calls_;
+  std::vector<std::vector<std::size_t>> callees_;
+  std::vector<std::vector<std::size_t>> sites_of_;
+};
+
+}  // namespace origin::analyze

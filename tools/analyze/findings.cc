@@ -35,6 +35,8 @@ bool match_allow(std::string_view line, std::string_view rule,
   return false;
 }
 
+}  // namespace
+
 void json_escape(std::ostream& out, std::string_view text) {
   for (const char c : text) {
     switch (c) {
@@ -61,8 +63,6 @@ void json_escape(std::ostream& out, std::string_view text) {
     }
   }
 }
-
-}  // namespace
 
 std::vector<FileWaiver> load_waiver_file(const std::string& path) {
   std::vector<FileWaiver> waivers;
@@ -123,6 +123,30 @@ void FindingSink::apply_inline_waiver(
     if (ln == 0 || ln > lines.size()) return false;
     std::string reason;
     if (!match_allow(lines[ln - 1], f.rule, reason)) return false;
+    // Multi-line reasons: when the allow-marker is a full-line comment,
+    // the //-comment lines that follow it (still above the finding, and
+    // not themselves allow-markers) continue the reason. A reason should
+    // not have to fit one line to survive clang-format.
+    if (is_comment_line(lines[ln - 1])) {
+      for (std::size_t nl = ln + 1; nl <= lines.size() && nl < f.line;
+           ++nl) {
+        const std::string_view cont = lines[nl - 1];
+        if (!is_comment_line(cont) ||
+            cont.find(":allow(") != std::string_view::npos) {
+          break;
+        }
+        std::string_view text = cont.substr(cont.find("//") + 2);
+        while (!text.empty() && text.front() == ' ') text.remove_prefix(1);
+        while (!text.empty() &&
+               (text.back() == ' ' || text.back() == '\t')) {
+          text.remove_suffix(1);
+        }
+        if (!text.empty()) {
+          if (!reason.empty()) reason += ' ';
+          reason += text;
+        }
+      }
+    }
     f.waived = true;
     f.waiver_reason = reason.empty() ? "inline waiver" : reason;
     return true;

@@ -39,6 +39,11 @@ struct FileWaiver {
 // lines (fewer than three fields) are reported on stderr and ignored.
 std::vector<FileWaiver> load_waiver_file(const std::string& path);
 
+// Writes `text` with JSON string escaping. Exposed so the driver's
+// findings-drift gate can compute keys in exactly the form write_json
+// emits them.
+void json_escape(std::ostream& out, std::string_view text);
+
 class FindingSink {
  public:
   void add(Finding finding);

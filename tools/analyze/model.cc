@@ -49,11 +49,12 @@ void collect_includes(const FileModel& model,
   }
 }
 
-// Parses the parameter list between tokens[open]=='(' and its matching ')'.
+}  // namespace
+
 // Each parameter keeps its full type spelling plus trailing name; default
 // arguments are cut at the '='.
-void parse_params(const std::vector<Token>& tokens, std::size_t open,
-                  std::size_t close, std::vector<HotParam>& params) {
+void parse_param_list(const std::vector<Token>& tokens, std::size_t open,
+                      std::size_t close, std::vector<HotParam>& params) {
   std::size_t param_begin = open + 1;
   std::size_t depth = 0;
   for (std::size_t i = open + 1; i <= close; ++i) {
@@ -101,6 +102,8 @@ void parse_params(const std::vector<Token>& tokens, std::size_t open,
   }
 }
 
+namespace {
+
 // Scans forward from the token after an ORIGIN_HOT marker to the function's
 // parameter list and body. Returns false when no body follows (declaration,
 // or the marker decorated something we don't model).
@@ -124,7 +127,7 @@ bool parse_hot_function(const std::vector<Token>& tokens, std::size_t start,
   const std::size_t close = match_forward(tokens, open, "(", ")");
   if (close == tokens.size()) return false;
   out.name = std::string(tokens[open - 1].text);
-  parse_params(tokens, open, close, out.params);
+  parse_param_list(tokens, open, close, out.params);
   // Body '{' follows, possibly after const/noexcept/override/trailing
   // return. A ';' first means declaration only; '=' covers `= default`.
   for (std::size_t i = close + 1; i < tokens.size(); ++i) {

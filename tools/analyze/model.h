@@ -78,4 +78,10 @@ std::size_t match_forward(const std::vector<Token>& tokens, std::size_t open,
                           std::string_view open_text,
                           std::string_view close_text);
 
+// Parses the parameter list between tokens[open]=='(' and its matching ')'
+// into type-text/name pairs (shared by the hot-function model and the call
+// graph's function definitions).
+void parse_param_list(const std::vector<Token>& tokens, std::size_t open,
+                      std::size_t close, std::vector<HotParam>& params);
+
 }  // namespace origin::analyze

@@ -17,9 +17,14 @@
 // contains "Scratch" or "ByteWriter" (the warm-arena types, which keep
 // capacity across clear()), and any receiver the same body explicitly
 // prepares with .reserve()/.clear()/.assign().
+//
+// The same body check runs interprocedurally over every unannotated
+// function reachable from an ORIGIN_HOT root — see pass_hot_transitive.cc;
+// collect_alloc_violations below is the shared implementation.
 #include <string>
 #include <unordered_set>
 
+#include "alloc_check.h"
 #include "passes.h"
 
 namespace origin::analyze {
@@ -70,26 +75,31 @@ const std::unordered_set<std::string_view> kSanctioningCalls = {
     "reserve", "clear", "assign",
 };
 
-void check_function(const FileModel& file, const HotFunction& fn,
-                    FindingSink& sink) {
+}  // namespace
+
+void collect_alloc_violations(const FileModel& file, std::size_t body_begin,
+                              std::size_t body_end,
+                              const std::vector<HotParam>& params,
+                              bool check_params,
+                              std::vector<AllocViolation>& out) {
   const std::vector<Token>& toks = file.tokens;
 
   // Collect sanctioned receiver roots.
   std::unordered_set<std::string_view> sanctioned;
-  for (const HotParam& p : fn.params) {
+  for (const HotParam& p : params) {
     if (is_scratch_type(p.type_text) && !p.name.empty()) {
       sanctioned.insert(p.name);
     }
   }
-  for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+  for (std::size_t i = body_begin; i < body_end; ++i) {
     // Local scratch declarations: `AnalysisScratch& s = ...` or
     // `ObserveScratch scratch;` — a Scratch-typed identifier followed by
     // (optional '&') then a fresh name.
     if (toks[i].kind == TokenKind::kIdentifier &&
-        is_scratch_type(toks[i].text) && i + 1 < fn.body_end) {
+        is_scratch_type(toks[i].text) && i + 1 < body_end) {
       std::size_t j = i + 1;
       if (is_punct(toks[j], "&")) ++j;
-      if (j < fn.body_end && toks[j].kind == TokenKind::kIdentifier) {
+      if (j < body_end && toks[j].kind == TokenKind::kIdentifier) {
         sanctioned.insert(toks[j].text);
       }
     }
@@ -98,54 +108,59 @@ void check_function(const FileModel& file, const HotFunction& fn,
     if (toks[i].kind == TokenKind::kIdentifier &&
         kSanctioningCalls.count(toks[i].text) > 0 && i > 0 &&
         (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->")) &&
-        i + 1 < fn.body_end && is_punct(toks[i + 1], "(")) {
+        i + 1 < body_end && is_punct(toks[i + 1], "(")) {
       const std::string_view root = receiver_root(toks, i - 1);
       if (!root.empty()) sanctioned.insert(root);
     }
   }
 
-  auto flag = [&](const char* rule, const Token& at, std::string message) {
-    sink.add(rule, file.rel, at.line,
-             std::move(message) + " in ORIGIN_HOT function '" + fn.name +
-                 "'");
+  auto flag = [&](const char* rule, std::size_t line, std::string message) {
+    out.push_back(AllocViolation{rule, line, std::move(message)});
   };
 
-  for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+  for (std::size_t i = body_begin; i < body_end; ++i) {
     const Token& t = toks[i];
     if (t.kind != TokenKind::kIdentifier) continue;
 
     if (t.text == "new" &&
-        (i == fn.body_begin || (!is_punct(toks[i - 1], ".") &&
-                                !is_punct(toks[i - 1], "->")))) {
-      flag("hot-new", t, "operator new");
+        (i == body_begin || (!is_punct(toks[i - 1], ".") &&
+                             !is_punct(toks[i - 1], "->")))) {
+      flag("hot-new", t.line, "operator new");
       continue;
     }
     if (t.text == "make_unique" || t.text == "make_shared") {
-      flag("hot-new", t, "std::" + std::string(t.text));
+      flag("hot-new", t.line, "std::" + std::string(t.text));
       continue;
     }
     if (t.text == "to_string" && i > 0 && is_punct(toks[i - 1], "::")) {
-      flag("hot-string-construct", t, "std::to_string");
+      flag("hot-string-construct", t.line, "std::to_string");
       continue;
     }
     if (t.text == "string" && i >= 2 && is_ident(toks[i - 2], "std") &&
         is_punct(toks[i - 1], "::")) {
       // References, pointers, and static-member access (std::string::npos)
       // do not construct; anything else in a hot body does.
-      if (i + 1 < fn.body_end && (is_punct(toks[i + 1], "&") ||
-                                  is_punct(toks[i + 1], "*") ||
-                                  is_punct(toks[i + 1], "::"))) {
+      if (i + 1 < body_end && (is_punct(toks[i + 1], "&") ||
+                               is_punct(toks[i + 1], "*") ||
+                               is_punct(toks[i + 1], "::"))) {
         continue;
       }
-      flag("hot-string-construct", t, "std::string construction");
+      // Default construction (`std::string out;`) never allocates — SSO
+      // gives an empty string inline storage. Only initialized
+      // construction can materialize heap data.
+      if (i + 2 < body_end && toks[i + 1].kind == TokenKind::kIdentifier &&
+          is_punct(toks[i + 2], ";")) {
+        continue;
+      }
+      flag("hot-string-construct", t.line, "std::string construction");
       continue;
     }
     if (kGrowthCalls.count(t.text) > 0 && i > 0 &&
         (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->")) &&
-        i + 1 < fn.body_end && is_punct(toks[i + 1], "(")) {
+        i + 1 < body_end && is_punct(toks[i + 1], "(")) {
       const std::string_view root = receiver_root(toks, i - 1);
       if (!root.empty() && sanctioned.count(root) > 0) continue;
-      flag("hot-unreserved-growth", t,
+      flag("hot-unreserved-growth", t.line,
            "unreserved container growth via ." + std::string(t.text) +
                "() on '" +
                (root.empty() ? std::string("<expression>")
@@ -155,23 +170,28 @@ void check_function(const FileModel& file, const HotFunction& fn,
     }
   }
 
-  for (const HotParam& p : fn.params) {
-    if (is_owning_value_type(p.type_text)) {
-      Token at;
-      at.line = fn.line;
-      flag("hot-owning-copy", at,
-           "by-value owning parameter '" + p.name + "' of type '" +
-               p.type_text + "'");
+  if (check_params) {
+    for (const HotParam& p : params) {
+      if (is_owning_value_type(p.type_text)) {
+        flag("hot-owning-copy", 0,
+             "by-value owning parameter '" + p.name + "' of type '" +
+                 p.type_text + "'");
+      }
     }
   }
 }
 
-}  // namespace
-
 void run_alloc_pass(const std::deque<FileModel>& corpus, FindingSink& sink) {
   for (const FileModel& file : corpus) {
     for (const HotFunction& fn : file.hot_functions) {
-      check_function(file, fn, sink);
+      std::vector<AllocViolation> violations;
+      collect_alloc_violations(file, fn.body_begin, fn.body_end, fn.params,
+                               /*check_params=*/true, violations);
+      for (AllocViolation& v : violations) {
+        sink.add(v.rule, file.rel, v.line == 0 ? fn.line : v.line,
+                 std::move(v.message) + " in ORIGIN_HOT function '" +
+                     fn.name + "'");
+      }
     }
   }
 }

@@ -1,0 +1,147 @@
+// Error-propagation pass.
+//
+// util::Result and util::Status are [[nodiscard]], but the compiler's
+// warning stops at the first binding: `auto st = run();` silences it
+// forever, and `(void)run();` silences it on purpose. Both shapes swallow
+// the error path the §6.7 robustness machinery depends on. This pass uses
+// the call graph to know which corpus functions actually return
+// Result/Status, then runs an intra-body dataflow over each caller:
+//
+//   error-unchecked  a Result/Status value is bound to a name that is never
+//                    read again in the body — not .ok()-tested, not passed
+//                    to ORIGIN_CHECK, not returned, not handed onward
+//   error-discard    a call returning Result/Status is explicitly
+//                    (void)-cast away
+//
+// "Used" is any later occurrence of the bound name: a test, a return, a
+// value_or, or forwarding to another function all count. That is
+// deliberately shallow — the pass flags values that provably cannot
+// influence anything, and leaves judging the *quality* of a use to review.
+// Intentional discards stay expressible: waive with a reason, same as every
+// other rule.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "passes.h"
+
+namespace origin::analyze {
+
+namespace {
+
+// Does any resolved target of this site return util::Result / util::Status?
+bool targets_return_result(const CallGraph& graph, const CallSite& site,
+                           std::string* callee_name) {
+  for (const std::size_t target : site.targets) {
+    if (graph.returns_result_or_status(target)) {
+      if (callee_name != nullptr) {
+        *callee_name = graph.functions()[target].qualified();
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+// Walks back from `at` to the token just after the enclosing statement
+// boundary (';', '{', '}') — the start of the current statement.
+std::size_t statement_start(const std::vector<Token>& toks, std::size_t at,
+                            std::size_t body_begin) {
+  std::size_t i = at;
+  while (i > body_begin) {
+    const Token& prev = toks[i - 1];
+    if (is_punct(prev, ";") || is_punct(prev, "{") || is_punct(prev, "}")) {
+      break;
+    }
+    --i;
+  }
+  return i;
+}
+
+// Forward to the ';' ending the statement containing `at` (or body_end).
+std::size_t statement_end(const std::vector<Token>& toks, std::size_t at,
+                          std::size_t body_end) {
+  for (std::size_t i = at; i < body_end; ++i) {
+    if (is_punct(toks[i], ";")) return i;
+  }
+  return body_end;
+}
+
+}  // namespace
+
+void run_error_prop_pass(const CallGraph& graph, FindingSink& sink) {
+  const std::vector<FunctionDef>& fns = graph.functions();
+  for (std::size_t fn = 0; fn < fns.size(); ++fn) {
+    const FunctionDef& def = fns[fn];
+    const FileModel& file = graph.corpus()[def.file];
+    const std::vector<Token>& toks = file.tokens;
+
+    std::vector<const CallSite*> sites;
+    for (const std::size_t c : graph.sites_of()[fn]) {
+      sites.push_back(&graph.calls()[c]);
+    }
+    std::sort(sites.begin(), sites.end(),
+              [](const CallSite* a, const CallSite* b) {
+                return a->token_index < b->token_index;
+              });
+
+    for (const CallSite* site : sites) {
+      std::string callee;
+      if (!targets_return_result(graph, *site, &callee)) continue;
+      const std::size_t at = site->token_index;
+      const std::size_t stmt_begin =
+          statement_start(toks, at, def.body_begin);
+      const std::size_t stmt_end = statement_end(toks, at, def.body_end);
+
+      // error-discard: `( void )` anywhere between the statement start and
+      // the call — the canonical explicit cast-away.
+      bool discarded = false;
+      for (std::size_t i = stmt_begin; i + 2 < at; ++i) {
+        if (is_punct(toks[i], "(") && is_ident(toks[i + 1], "void") &&
+            is_punct(toks[i + 2], ")")) {
+          discarded = true;
+          sink.add("error-discard", file.rel, toks[at].line,
+                   "Result/Status returned by '" + callee +
+                       "' is (void)-discarded in '" + def.qualified() +
+                       "' — the error path is silently swallowed");
+          break;
+        }
+      }
+      if (discarded) continue;
+
+      // error-unchecked: a declaration-style binding `Type name = …call…`
+      // whose name never occurs again in the body. Look for `name =` (a
+      // lone '=', not '=='/'!='/'<='/'>=') between statement start and the
+      // call, with a type token immediately before the name.
+      for (std::size_t i = stmt_begin + 1; i + 1 < at; ++i) {
+        if (toks[i].kind != TokenKind::kIdentifier) continue;
+        if (!is_punct(toks[i + 1], "=")) continue;
+        if (i + 2 < at && is_punct(toks[i + 2], "=")) continue;  // ==
+        const Token& before = toks[i - 1];
+        const bool declaration =
+            before.kind == TokenKind::kIdentifier ||
+            is_punct(before, ">") || is_punct(before, "&");
+        if (!declaration) continue;
+        const std::string_view name = toks[i].text;
+        bool used = false;
+        for (std::size_t j = stmt_end; j < def.body_end; ++j) {
+          if (toks[j].kind == TokenKind::kIdentifier &&
+              toks[j].text == name) {
+            used = true;
+            break;
+          }
+        }
+        if (!used) {
+          sink.add("error-unchecked", file.rel, toks[i].line,
+                   "Result/Status from '" + callee + "' bound to '" +
+                       std::string(name) + "' in '" + def.qualified() +
+                       "' but never read — not ok()-tested, returned, or "
+                       "forwarded");
+        }
+        break;  // one binding per statement is enough
+      }
+    }
+  }
+}
+
+}  // namespace origin::analyze

@@ -1,0 +1,85 @@
+// Hot-transitive pass.
+//
+// PR 6's alloc pass sees one function body at a time, so an ORIGIN_HOT
+// function could launder an allocation through any unannotated helper. This
+// pass closes that hole: BFS over the call graph from every ORIGIN_HOT
+// definition, and every reachable unannotated function's body gets the same
+// allocation check (alloc_check.h). Findings are reported under the single
+// rule `hot-transitive`, at the violating line of the callee, with the full
+// shortest hot call chain in the message so the reader sees *why* the
+// function is hot:
+//
+//   src/util/bytes.h:24: [hot-transitive] unreserved container growth via
+//   .push_back() on 'buf_' (hot chain: serialize_frame -> write_header ->
+//   u8)
+//
+// Already-annotated callees are skipped — the direct alloc pass owns them,
+// and double-reporting the same line under two rules would force double
+// waivers. Parameter-copy checks are also skipped for unannotated callees
+// (a by-value signature is only a contract violation when the function
+// itself claims the contract); bodies are where laundering happens.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "alloc_check.h"
+#include "passes.h"
+
+namespace origin::analyze {
+
+void run_hot_transitive_pass(const CallGraph& graph, FindingSink& sink) {
+  const std::vector<FunctionDef>& fns = graph.functions();
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> parent(fns.size(), kUnvisited);
+  std::vector<bool> visited(fns.size(), false);
+
+  // BFS from all hot roots at once: parent chains are shortest, and a
+  // callee shared by several hot paths is reported once.
+  std::vector<std::size_t> queue;
+  for (std::size_t i = 0; i < fns.size(); ++i) {
+    if (fns[i].is_hot) {
+      visited[i] = true;
+      queue.push_back(i);
+    }
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::size_t fn = queue[head];
+    for (const std::size_t callee : graph.callees()[fn]) {
+      if (visited[callee]) continue;
+      visited[callee] = true;
+      parent[callee] = fn;
+      queue.push_back(callee);
+    }
+  }
+
+  auto chain_of = [&](std::size_t fn) {
+    std::vector<std::size_t> chain;
+    for (std::size_t at = fn; at != kUnvisited; at = parent[at]) {
+      chain.push_back(at);
+      if (fns[at].is_hot && parent[at] == kUnvisited) break;
+    }
+    std::string text;
+    for (std::size_t i = chain.size(); i-- > 0;) {
+      if (!text.empty()) text += " -> ";
+      text += fns[chain[i]].qualified();
+    }
+    return text;
+  };
+
+  for (const std::size_t fn : queue) {
+    const FunctionDef& def = fns[fn];
+    if (def.is_hot) continue;  // direct alloc pass owns annotated bodies
+    const FileModel& file = graph.corpus()[def.file];
+    std::vector<AllocViolation> violations;
+    collect_alloc_violations(file, def.body_begin, def.body_end, def.params,
+                             /*check_params=*/false, violations);
+    for (AllocViolation& v : violations) {
+      sink.add("hot-transitive", file.rel, v.line == 0 ? def.line : v.line,
+               std::move(v.message) + " in '" + def.qualified() +
+                   "', reachable from a hot root (hot chain: " +
+                   chain_of(fn) + ")");
+    }
+  }
+}
+
+}  // namespace origin::analyze

@@ -1,0 +1,276 @@
+// Lock-order pass.
+//
+// The TSan leg only sees interleavings that actually executed; this pass is
+// its static complement. Every `util::MutexLock lock(&mu)` acquisition is
+// extracted per function with its lexical scope, held-lock sets are
+// propagated through call-graph edges, and the resulting lock-order graph
+// must be acyclic:
+//
+//   lock-cycle              two lock classes are acquired in both orders
+//                           (ABBA), or a class is (transitively) acquired
+//                           while already held — both deadlock
+//                           non-recursive mutexes
+//   lock-wait-while-holding a CondVar wait performed while a *second* lock
+//                           class is held: the waited mutex is released
+//                           during the wait, the others are not, so every
+//                           other thread needing them stalls for the full
+//                           wait
+//
+// Lock identity is the mutex variable/member name — the lock *class* — so
+// all per-worker `mu` instances are one node. That is deliberately
+// conservative: two instances of one class taken in program-order-dependent
+// sequence is exactly the ABBA shape worth a human look (and a waiver when
+// the order is provably fixed, e.g. owner-then-victim stealing that
+// releases between acquisitions).
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "passes.h"
+
+namespace origin::analyze {
+
+namespace {
+
+// The last identifier of the expression between parens: `&worker.mu` ->
+// "mu", `&job_mu_` -> "job_mu_".
+std::string lock_class_of(const std::vector<Token>& toks, std::size_t open,
+                          std::size_t close) {
+  std::string name;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    if (toks[i].kind == TokenKind::kIdentifier) name = toks[i].text;
+  }
+  return name;
+}
+
+struct HeldLock {
+  std::string lock_class;
+  std::size_t depth = 0;  // brace depth at acquisition
+};
+
+struct Site {
+  std::string file;
+  std::size_t line = 0;
+};
+
+struct CallEvent {
+  std::vector<std::string> held;
+  const CallSite* call = nullptr;
+};
+
+struct FunctionLocks {
+  std::set<std::string> direct;       // classes acquired in this body
+  std::vector<CallEvent> calls;       // call sites with locks held
+};
+
+}  // namespace
+
+void run_lock_order_pass(const CallGraph& graph, FindingSink& sink) {
+  const std::vector<FunctionDef>& fns = graph.functions();
+  std::vector<FunctionLocks> locks(fns.size());
+
+  // Ordered maps keep cycle reports deterministic.
+  std::map<std::string, std::map<std::string, Site>> edges;
+  auto add_edge = [&](const std::string& from, const std::string& to,
+                      const std::string& file, std::size_t line) {
+    edges[from].emplace(to, Site{file, line});
+  };
+
+  // Pass 1: per-function scan — acquisitions with scopes, intra-function
+  // nesting edges, cv waits, and call events with held-set snapshots.
+  for (std::size_t fn = 0; fn < fns.size(); ++fn) {
+    const FunctionDef& def = fns[fn];
+    const FileModel& file = graph.corpus()[def.file];
+    const std::vector<Token>& toks = file.tokens;
+
+    // Call sites of this function in token order.
+    std::vector<const CallSite*> sites;
+    for (const std::size_t c : graph.sites_of()[fn]) {
+      sites.push_back(&graph.calls()[c]);
+    }
+    std::sort(sites.begin(), sites.end(),
+              [](const CallSite* a, const CallSite* b) {
+                return a->token_index < b->token_index;
+              });
+    std::size_t next_site = 0;
+
+    std::vector<HeldLock> held;
+    std::size_t depth = 0;
+    for (std::size_t i = def.body_begin; i < def.body_end; ++i) {
+      const Token& t = toks[i];
+      if (is_punct(t, "{")) {
+        ++depth;
+        continue;
+      }
+      if (is_punct(t, "}")) {
+        if (depth > 0) --depth;
+        while (!held.empty() && held.back().depth > depth) held.pop_back();
+        continue;
+      }
+
+      // Call event: snapshot the held set at this site.
+      while (next_site < sites.size() &&
+             sites[next_site]->token_index <= i) {
+        if (sites[next_site]->token_index == i && !held.empty() &&
+            !sites[next_site]->targets.empty()) {
+          CallEvent event;
+          for (const HeldLock& h : held) {
+            event.held.push_back(h.lock_class);
+          }
+          event.call = sites[next_site];
+          locks[fn].calls.push_back(std::move(event));
+        }
+        ++next_site;
+      }
+
+      if (t.kind != TokenKind::kIdentifier) continue;
+
+      // `MutexLock name(&expr);`
+      if (t.text == "MutexLock" && i + 2 < def.body_end &&
+          toks[i + 1].kind == TokenKind::kIdentifier &&
+          is_punct(toks[i + 2], "(")) {
+        const std::size_t close = match_forward(toks, i + 2, "(", ")");
+        if (close == toks.size()) continue;
+        const std::string lock_class = lock_class_of(toks, i + 2, close);
+        if (lock_class.empty()) continue;
+        for (const HeldLock& h : held) {
+          add_edge(h.lock_class, lock_class, file.rel, t.line);
+        }
+        held.push_back(HeldLock{lock_class, depth});
+        locks[fn].direct.insert(lock_class);
+        continue;
+      }
+
+      // CondVar wait while other lock classes are held: `cv.wait(mu)`
+      // releases only `mu` for the duration of the wait.
+      if (t.text == "wait" && i > 0 &&
+          (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->")) &&
+          i + 1 < def.body_end && is_punct(toks[i + 1], "(") &&
+          !held.empty()) {
+        const std::size_t close = match_forward(toks, i + 1, "(", ")");
+        if (close == toks.size()) continue;
+        const std::string waited = lock_class_of(toks, i + 1, close);
+        const bool waited_is_held =
+            std::any_of(held.begin(), held.end(), [&](const HeldLock& h) {
+              return h.lock_class == waited;
+            });
+        if (!waited_is_held) continue;  // not a cv-on-our-mutex wait
+        std::string others;
+        for (const HeldLock& h : held) {
+          if (h.lock_class == waited) continue;
+          if (!others.empty()) others += ", ";
+          others += "'" + h.lock_class + "'";
+        }
+        if (!others.empty()) {
+          sink.add("lock-wait-while-holding", file.rel, t.line,
+                   "condition-variable wait releases only '" + waited +
+                       "' while " + others + " stay(s) held in '" +
+                       def.qualified() +
+                       "' — other threads needing them stall for the whole "
+                       "wait");
+        }
+      }
+    }
+  }
+
+  // Pass 2: fixpoint of transitively-acquired lock classes per function.
+  std::vector<std::set<std::string>> acq_star(fns.size());
+  for (std::size_t fn = 0; fn < fns.size(); ++fn) {
+    acq_star[fn] = locks[fn].direct;
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t fn = 0; fn < fns.size(); ++fn) {
+      for (const std::size_t callee : graph.callees()[fn]) {
+        for (const std::string& lock_class : acq_star[callee]) {
+          if (acq_star[fn].insert(lock_class).second) changed = true;
+        }
+      }
+    }
+  }
+
+  // Pass 3: interprocedural edges — a call made with H held reaches every
+  // lock class the callee may (transitively) acquire.
+  for (std::size_t fn = 0; fn < fns.size(); ++fn) {
+    const FileModel& file = graph.corpus()[fns[fn].file];
+    for (const CallEvent& event : locks[fn].calls) {
+      for (const std::size_t target : event.call->targets) {
+        for (const std::string& acquired : acq_star[target]) {
+          for (const std::string& h : event.held) {
+            add_edge(h, acquired, file.rel, event.call->line);
+          }
+        }
+      }
+    }
+  }
+
+  // Self-edges are immediate deadlocks of a non-recursive mutex.
+  for (const auto& [from, outs] : edges) {
+    const auto self = outs.find(from);
+    if (self != outs.end()) {
+      sink.add("lock-cycle", self->second.file, self->second.line,
+               "lock class '" + from +
+                   "' is (transitively) acquired while already held — "
+                   "deadlocks a non-recursive mutex");
+    }
+  }
+
+  // Cycle detection over the lock-order graph, mirroring the layering
+  // pass: iterative DFS with a path stack, one report per distinct cycle.
+  std::set<std::string> done;
+  std::set<std::string> reported;
+  for (const auto& [start, unused] : edges) {
+    (void)unused;
+    if (done.count(start) > 0) continue;
+    std::vector<std::string> path;
+    std::set<std::string> on_path;
+    struct Frame {
+      std::string node;
+      std::map<std::string, Site>::const_iterator next;
+    };
+    std::vector<Frame> stack;
+    auto push = [&](const std::string& n) {
+      path.push_back(n);
+      on_path.insert(n);
+      static const std::map<std::string, Site> kEmpty;
+      const auto it = edges.find(n);
+      stack.push_back(
+          Frame{n, it == edges.end() ? kEmpty.begin() : it->second.begin()});
+    };
+    push(start);
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto eit = edges.find(frame.node);
+      if (eit == edges.end() || frame.next == eit->second.end()) {
+        done.insert(frame.node);
+        on_path.erase(frame.node);
+        path.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const std::string& to = frame.next->first;
+      const Site& site = frame.next->second;
+      ++frame.next;
+      if (to == frame.node) continue;  // self-edge reported above
+      if (on_path.count(to) > 0) {
+        std::string cycle = to;
+        bool in_cycle = false;
+        for (const std::string& n : path) {
+          if (n == to) in_cycle = true;
+          if (in_cycle && n != to) cycle += " -> " + n;
+        }
+        cycle += " -> " + to;
+        if (reported.insert(cycle).second) {
+          sink.add("lock-cycle", site.file, site.line,
+                   "lock-order cycle between lock classes: " + cycle);
+        }
+        continue;
+      }
+      if (done.count(to) == 0) push(to);
+    }
+  }
+}
+
+}  // namespace origin::analyze

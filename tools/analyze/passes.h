@@ -5,6 +5,7 @@
 
 #include <deque>
 
+#include "callgraph.h"
 #include "findings.h"
 #include "model.h"
 
@@ -33,5 +34,29 @@ void run_determinism_pass(const std::deque<FileModel>& corpus,
 // include graph must stay acyclic even within a layer (layer-cycle).
 void run_layering_pass(const std::deque<FileModel>& corpus,
                        FindingSink& sink);
+
+// Interprocedural passes over the call graph (callgraph.h).
+//
+// Hot-transitive: the transitive closure of ORIGIN_HOT over call edges.
+// Every reachable unannotated callee gets the same body-level allocation
+// check as an annotated function (hot-transitive findings carry the full
+// hot call chain, e.g. `replay_batch -> batch_join -> helper`).
+void run_hot_transitive_pass(const CallGraph& graph, FindingSink& sink);
+
+// Lock-order: util::MutexLock acquisition sequences per function, held-lock
+// sets propagated through call edges, cycle detection over the lock-order
+// graph (lock-cycle), plus CondVar waits performed while a second lock
+// class is held (lock-wait-while-holding). Lock identity is the mutex
+// member/variable name — the lock *class* — so per-instance mutexes of the
+// same family (per-worker `mu`) are one node, the standard conservative
+// choice for ABBA detection.
+void run_lock_order_pass(const CallGraph& graph, FindingSink& sink);
+
+// Error-propagation: intra-body dataflow over util::Result/util::Status
+// values returned by corpus functions. A bound result that is never read
+// again (error-unchecked) or a `(void)`-discarded call (error-discard)
+// silently swallows the error path — the §6.7 failure mode [[nodiscard]]
+// alone cannot catch once the value is bound or cast away.
+void run_error_prop_pass(const CallGraph& graph, FindingSink& sink);
 
 }  // namespace origin::analyze

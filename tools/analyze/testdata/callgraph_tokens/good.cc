@@ -1,0 +1,29 @@
+// Fixture: tokenizer and call-graph edge cases that must NOT create call
+// edges — raw strings containing ( ) and ::, plain strings with
+// unbalanced parens, operator-call syntax, and ALL_CAPS macro
+// invocations. `grow_buffer` allocates, so if any spelling below faked an
+// edge from the hot body to it, the hot-transitive pass would reject this
+// fixture.
+#include <vector>
+
+#define ORIGIN_HOT __attribute__((hot))
+#define RECORD_EVENT(tag) (void)(tag)
+
+void grow_buffer(std::vector<int>& out, int v) {
+  out.push_back(v);
+}
+
+struct Adder {
+  int operator()(int a, int b) const { return a + b; }
+};
+
+ORIGIN_HOT int steady_state(int v) {
+  const char* raw = R"(grow_buffer(out, v))";
+  const char* qualified = R"(detail::grow_buffer(out, 1))";
+  const char* unbalanced = "grow_buffer(";
+  RECORD_EVENT(raw);
+  RECORD_EVENT(qualified);
+  RECORD_EVENT(unbalanced);
+  Adder add;
+  return add(v, v);
+}

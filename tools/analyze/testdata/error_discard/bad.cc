@@ -1,0 +1,11 @@
+// Fixture: a Status-returning call explicitly cast to void
+// (error-discard).
+struct Status {
+  bool ok() const { return true; }
+};
+
+Status submit_frame() { return Status{}; }
+
+void pump() {
+  (void)submit_frame();
+}

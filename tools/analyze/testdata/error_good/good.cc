@@ -1,0 +1,25 @@
+// Fixture: Result/Status handling the error-propagation pass must accept —
+// tested, returned, and forwarded values all count as used.
+struct Status {
+  bool ok() const { return true; }
+};
+
+Status do_work() { return Status{}; }
+
+void log_status(const Status& st);
+
+Status propagated() {
+  return do_work();
+}
+
+int tested() {
+  auto st = do_work();
+  if (!st.ok()) return 1;
+  return 0;
+}
+
+int forwarded() {
+  Status st = do_work();
+  log_status(st);
+  return 0;
+}

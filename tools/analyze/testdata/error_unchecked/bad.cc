@@ -1,0 +1,12 @@
+// Fixture: a Status-returning call bound to a name that is never read
+// again (error-unchecked).
+struct Status {
+  bool ok() const { return true; }
+};
+
+Status do_work() { return Status{}; }
+
+int run() {
+  auto st = do_work();
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Fixture: an ORIGIN_HOT function launders an allocation through an
+// unannotated helper two edges away (hot-transitive).
+#include <vector>
+
+#define ORIGIN_HOT __attribute__((hot))
+
+void append_one(std::vector<int>& out, int v) {
+  out.push_back(v);
+}
+
+void forward(std::vector<int>& out, int v) {
+  append_one(out, v);
+}
+
+ORIGIN_HOT void record(std::vector<int>& out, int v) {
+  forward(out, v);
+}

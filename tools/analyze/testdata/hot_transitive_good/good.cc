@@ -1,0 +1,32 @@
+// Fixture: the transitive closure must accept helpers that follow the
+// scratch discipline, and must not chase cold-only call chains.
+#include <vector>
+
+#define ORIGIN_HOT __attribute__((hot))
+
+struct ReplayScratch {
+  std::vector<int> items;
+};
+
+void append_scratch(ReplayScratch& s, int v) {
+  s.items.push_back(v);
+}
+
+void append_reserved(std::vector<int>& out, int v) {
+  out.reserve(16);
+  out.push_back(v);
+}
+
+ORIGIN_HOT void record(ReplayScratch& s, std::vector<int>& out, int v) {
+  append_scratch(s, v);
+  append_reserved(out, v);
+}
+
+// Reachable only from cold code: never subject to the hot contract.
+void cold_grow(std::vector<int>& out, int v) {
+  out.push_back(v);
+}
+
+void cold_driver(std::vector<int>& out) {
+  cold_grow(out, 1);
+}

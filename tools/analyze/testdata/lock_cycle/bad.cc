@@ -1,0 +1,19 @@
+// Fixture: ABBA acquisition — two functions take the same two lock
+// classes in opposite orders (lock-cycle).
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex* mu);
+};
+
+Mutex table_mu;
+Mutex stats_mu;
+
+void update_then_count() {
+  MutexLock table(&table_mu);
+  MutexLock stats(&stats_mu);
+}
+
+void count_then_update() {
+  MutexLock stats(&stats_mu);
+  MutexLock table(&table_mu);
+}

@@ -1,0 +1,34 @@
+// Fixture: lock usage the lock-order pass must accept — a consistent
+// acquisition order everywhere, and a scoped release before taking the
+// other class in what would otherwise be the reverse order.
+struct Mutex {};
+struct MutexLock {
+  explicit MutexLock(Mutex* mu);
+};
+struct CondVar {
+  void wait(Mutex& mu);
+};
+
+Mutex table_mu;
+Mutex stats_mu;
+CondVar drain_cv;
+
+void nested_in_order() {
+  MutexLock table(&table_mu);
+  MutexLock stats(&stats_mu);
+}
+
+void released_before_reverse() {
+  {
+    MutexLock stats(&stats_mu);
+  }
+  // stats_mu is released: taking table_mu now adds no stats->table edge.
+  MutexLock table(&table_mu);
+  MutexLock stats(&stats_mu);
+}
+
+void wait_with_single_lock() {
+  MutexLock table(&table_mu);
+  // Waiting on the only held mutex is the normal CondVar protocol.
+  drain_cv.wait(table_mu);
+}

@@ -5,7 +5,7 @@
 #define ORIGIN_HOT __attribute__((hot))
 
 ORIGIN_HOT int* make_counter() {
-  return new int(0);  // analyze:allow(hot-new): fixture exercises waivers
+  return new int(0);  // analyze:allow(hot-new): fixture exercising the inline waiver path end to end
 }
 
 namespace util {

@@ -1,0 +1,8 @@
+// Fixture: a waiver whose reason is too short to be a claim — the
+// violation itself is waived, but waiver-short-reason must still fail the
+// run.
+#define ORIGIN_HOT __attribute__((hot))
+
+ORIGIN_HOT int* make_counter() {
+  return new int(0);  // analyze:allow(hot-new): perf
+}
