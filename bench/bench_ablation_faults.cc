@@ -20,11 +20,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <algorithm>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "util/json.h"
 #include "browser/environment.h"
 #include "browser/wire_client.h"
 #include "cdn/kill_switch.h"
@@ -178,6 +181,35 @@ struct KillSwitchReplay {
   bool suppressed_load_ok = false;
   bool reenabled = false;
 };
+
+// Reads the committed baseline's 5%-cell degraded median PLT, if present.
+// Returns <= 0 when there is no baseline (first run) or it is unreadable.
+double committed_five_pct_median_ms(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0.0;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = origin::util::Json::parse(buffer.str());
+  if (!parsed.ok() || !(*parsed)["cells"].is_array()) return 0.0;
+  for (const auto& cell : (*parsed)["cells"].as_array()) {
+    if (cell["degradation"].bool_or(false) &&
+        cell["rate"].double_or(0.0) == 0.05) {
+      return cell["median_plt_ms"].double_or(0.0);
+    }
+  }
+  return 0.0;
+}
+
+bool copy_file_contents(const std::string& from, const std::string& to) {
+  std::ifstream in(from);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::ofstream out(to);
+  if (!out) return false;
+  out << buffer.str();
+  return static_cast<bool>(out);
+}
 
 KillSwitchReplay run_kill_switch_replay() {
   KillSwitchReplay replay;
@@ -358,5 +390,30 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: kill-switch replay did not converge\n");
     ok = false;
   }
+
+#ifdef ORIGIN_REPO_ROOT
+  // Regression gate vs the committed baseline: the degraded 5%-cell median
+  // PLT must not regress >10%. On pass, mirror the fresh result to the
+  // repo root so the committed baseline tracks the tree (the same contract
+  // as the perf benches).
+  const std::string committed =
+      std::string(ORIGIN_REPO_ROOT) + "/BENCH_faults.json";
+  const double committed_median = committed_five_pct_median_ms(committed);
+  const double median = five_on->median_plt_ms();
+  if (committed_median > 0 && median > committed_median * 1.1) {
+    std::fprintf(stderr,
+                 "FAIL: degraded 5%%-cell median PLT regressed >10%% vs "
+                 "committed baseline (%.1f -> %.1f ms); leaving %s "
+                 "untouched\n",
+                 committed_median, median, committed.c_str());
+    ok = false;
+  } else if (ok) {
+    if (!copy_file_contents("BENCH_faults.json", committed)) {
+      std::fprintf(stderr, "cannot write %s\n", committed.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", committed.c_str());
+  }
+#endif
   return ok ? 0 : 1;
 }

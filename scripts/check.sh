@@ -20,15 +20,25 @@
 #      rates 0 / 5 / 20% (ORIGIN_FAULT_RATE) under the ASan build, so every
 #      degradation path (timeout, backoff, avoid-list, re-dispatch) runs
 #      with the allocator instrumented
-#   6. UBSan preset build + full ctest
-#   7. TSan preset build + the concurrency suites (thread pool stress +
-#      pipeline determinism + fault-schedule determinism) with
-#      ORIGIN_THREADS=8, so every shard path runs contended under the race
-#      detector
-#   8. perf: Release build of the two perf benches; each emits its
+#   6. overload abuse matrix: the server-side overload suites replayed
+#      under the ASan build across ORIGIN_ABUSE_MIX attacker mixes, so
+#      every shed path (rapid-reset, header bomb, PING/SETTINGS floods,
+#      slowloris reaping, admission refusal, drain) runs with the
+#      allocator instrumented under each mix
+#   7. UBSan preset build + full ctest
+#   8. TSan preset build + the concurrency suites (thread pool stress +
+#      pipeline determinism + fault-schedule determinism + the overload
+#      ledger 1-vs-8-thread determinism checks) with ORIGIN_THREADS=8, so
+#      every shard path runs contended under the race detector
+#   9. perf: Release build of the perf + ablation benches; each emits its
 #      BENCH_*.json at the repo root and exits non-zero when a gate fails
 #      (bench_perf_model: fused replay >= 3x the string-keyed baseline and
-#      no >10% regression against the committed BENCH_model.json)
+#      no >10% regression against the committed BENCH_model.json;
+#      bench_ablation_overload: >=99% well-behaved completion under attack,
+#      every attacker shed, zero pinned sessions, bounded p99, and no >10%
+#      defended-p99 regression against the committed BENCH_overload.json;
+#      bench_ablation_faults: no >10% degraded-median regression against
+#      the committed BENCH_faults.json)
 #
 # Usage: scripts/check.sh [--quick]
 #   --quick   tier-1 + lint + analyze only; skip the sanitizer rebuilds and
@@ -47,17 +57,17 @@ run_suite() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
-echo "==> [1/8] tier-1 build + ctest (lint + analyze + fuzz replays included)"
+echo "==> [1/9] tier-1 build + ctest (lint + analyze + fuzz replays included)"
 run_suite build
 
-echo "==> [2/8] origin_analyze contract gate (full src/ tree, drift-checked)"
+echo "==> [2/9] origin_analyze contract gate (full src/ tree, drift-checked)"
 ./build/tools/analyze/origin_analyze --root=. \
   --waivers=tools/analyze/waivers.txt \
   --baseline=analyze_findings.json \
   --json=analyze_findings.json src
 echo "findings artifact: analyze_findings.json (commit to accept new waivers)"
 
-echo "==> [3/8] clang-tidy (parser directories)"
+echo "==> [3/9] clang-tidy (parser directories)"
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   git ls-files 'src/h2/*.cc' 'src/hpack/*.cc' 'src/web/*.cc' 'src/util/*.cc' |
@@ -71,29 +81,43 @@ if [[ "$QUICK" == "1" ]]; then
   exit 0
 fi
 
-echo "==> [4/8] AddressSanitizer preset"
+echo "==> [4/9] AddressSanitizer preset"
 run_suite build-asan -DORIGIN_SANITIZE=address
 
-echo "==> [5/8] fault matrix (wire suites at 0/5/20% injected faults, ASan)"
+echo "==> [5/9] fault matrix (wire suites at 0/5/20% injected faults, ASan)"
 for rate in 0 0.05 0.20; do
   echo "--- ORIGIN_FAULT_RATE=$rate"
   ORIGIN_FAULT_RATE="$rate" ctest --test-dir build-asan --output-on-failure \
     -j "$JOBS" -R 'FaultInjection|FaultDeterminism|KillSwitch|WireClient|Http2Server|Middleboxes'
 done
 
-echo "==> [6/8] UndefinedBehaviorSanitizer preset"
+echo "==> [6/9] overload abuse matrix (ORIGIN_ABUSE_MIX sweep, ASan)"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+  -R 'Overload|Admission'
+for mix in 'rapid_reset=6' 'slowloris=4' \
+           'header_bomb=2,ping_flood=2,settings_flood=2'; do
+  echo "--- ORIGIN_ABUSE_MIX=$mix"
+  ORIGIN_ABUSE_MIX="$mix" ctest --test-dir build-asan --output-on-failure \
+    -R 'Overload.EnvAbuseMatrixShedsEveryAttackerAndServesTheRest'
+done
+
+echo "==> [7/9] UndefinedBehaviorSanitizer preset"
 run_suite build-ubsan -DORIGIN_SANITIZE=undefined
 
-echo "==> [7/8] ThreadSanitizer preset (concurrency suites, 8 threads)"
+echo "==> [8/9] ThreadSanitizer preset (concurrency suites, 8 threads)"
 cmake -B build-tsan -S . -DORIGIN_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS"
 ORIGIN_THREADS=8 ctest --test-dir build-tsan --output-on-failure \
-  -R 'ThreadPool|PipelineDeterminism|FaultDeterminism'
+  -R 'ThreadPool|PipelineDeterminism|FaultDeterminism|BitIdenticalAcrossThreadCounts'
 
-echo "==> [8/8] perf gates (Release benches, repo-root BENCH_*.json)"
+echo "==> [9/9] perf gates (Release benches, repo-root BENCH_*.json)"
 cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-perf -j "$JOBS" --target bench_perf_pipeline bench_perf_model
+cmake --build build-perf -j "$JOBS" \
+  --target bench_perf_pipeline bench_perf_model \
+           bench_ablation_overload bench_ablation_faults
 ./build-perf/bench/bench_perf_pipeline
 ./build-perf/bench/bench_perf_model
+./build-perf/bench/bench_ablation_overload
+./build-perf/bench/bench_ablation_faults
 
 echo "==> all checks passed"

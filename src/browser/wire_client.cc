@@ -137,6 +137,30 @@ bool WireClient::retry_resource(std::shared_ptr<LoadState> state,
   return true;
 }
 
+bool WireClient::redispatch_resource(std::shared_ptr<LoadState> state,
+                                     int resource_index) {
+  if (state->finished) return false;
+  const auto idx = static_cast<std::size_t>(resource_index);
+  if (state->resource_done[idx]) return false;
+  if (state->attempts[idx] + 1 >= degradation_.max_attempts_per_resource) {
+    return false;
+  }
+  // A drain is not a failure: no retry budget, no backoff — but the
+  // attempt still counts so repeated drains cannot loop forever. The
+  // dispatch itself reruns the normal connection selection, which skips
+  // draining connections and honors the avoid-list.
+  ++state->attempts[idx];
+  network_.simulator().schedule(
+      Duration::micros(0), [this, state, resource_index]() {
+        if (state->finished ||
+            state->resource_done[static_cast<std::size_t>(resource_index)]) {
+          return;
+        }
+        dispatch(state, resource_index, /*dedicated=*/false);
+      });
+  return true;
+}
+
 void WireClient::fail_pending_streams(std::shared_ptr<LoadState> state,
                                       std::shared_ptr<LiveConnection> conn,
                                       const std::string& error,
@@ -461,9 +485,14 @@ void WireClient::open_connection(std::shared_ptr<LoadState> state,
               ++it;
             }
           }
+          // A graceful drain (NO_ERROR) re-dispatches budget-free; an
+          // error GOAWAY goes through the normal retry budget.
+          const bool graceful = goaway.error == h2::ErrorCode::kNoError;
           for (const auto& [stream_id, ps] : unprocessed) {
             (void)stream_id;
-            if (retry_resource(state, ps.resource)) {
+            if (graceful && redispatch_resource(state, ps.resource)) {
+              ++state->result.robustness.goaway_redispatches;
+            } else if (retry_resource(state, ps.resource)) {
               ++state->result.robustness.redispatched_streams;
             } else {
               complete_resource(state, ps.resource, false,

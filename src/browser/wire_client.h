@@ -141,6 +141,13 @@ class WireClient {
   // resource) when degradation is off, the budget or per-resource attempt
   // cap is exhausted, or the load already finished.
   bool retry_resource(std::shared_ptr<LoadState> state, int resource_index);
+  // Immediate budget-free re-dispatch for streams a graceful GOAWAY
+  // (NO_ERROR drain) left unprocessed: the server promised it never
+  // touched them, so replaying on another connection is always safe and
+  // costs no retry budget or backoff. Works even with degradation off;
+  // still bounded by max_attempts_per_resource.
+  bool redispatch_resource(std::shared_ptr<LoadState> state,
+                           int resource_index);
   void add_avoid(std::shared_ptr<LoadState> state, const std::string& a,
                  const std::string& b);
   bool should_avoid(const std::shared_ptr<LoadState>& state,

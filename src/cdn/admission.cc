@@ -1,0 +1,96 @@
+#include "cdn/admission.h"
+
+// The shed-reason classifier lives with the abuse generators: cdn sits
+// above server, which sits above h2, so this include follows the DAG.
+#include "h2/abuse.h"
+
+namespace origin::cdn {
+
+std::optional<std::string> AdmissionController::admit(
+    const std::string& client_tag) {
+  if (draining_) {
+    ++rejected_;
+    return "admission: draining";
+  }
+  auto& state = tags_[client_tag];
+  bool is_probe = false;
+  if (state.greylisted) {
+    if (!state.probe_outstanding) ++state.attempts_since_probe;
+    if (!state.probe_outstanding &&
+        state.attempts_since_probe >= options_.probe_after) {
+      // Admit this attempt as a probe — subject to the capacity checks
+      // below, so a full PoP still refuses it.
+      is_probe = true;
+    } else {
+      ++rejected_;
+      return "admission: greylisted";
+    }
+  }
+  if (options_.max_sessions != 0 &&
+      active_sessions_ >= options_.max_sessions) {
+    ++rejected_;
+    return "admission: at capacity";
+  }
+  if (options_.max_sessions_per_tag != 0 &&
+      state.active >= options_.max_sessions_per_tag) {
+    ++rejected_;
+    return "admission: tag concurrency limit";
+  }
+  if (is_probe) {
+    state.attempts_since_probe = 0;
+    state.probe_outstanding = true;
+    ++probes_;
+  }
+  ++admitted_;
+  ++active_sessions_;
+  ++state.active;
+  return std::nullopt;
+}
+
+void AdmissionController::record_close(const std::string& client_tag,
+                                       const std::string& reason) {
+  auto it = tags_.find(client_tag);
+  if (it == tags_.end()) return;
+  TagState& state = it->second;
+  // Only sessions we admitted hold a slot; a stray close (e.g. the gate was
+  // attached after the session was accepted) must not underflow the caps.
+  if (state.active == 0) return;
+  --state.active;
+  if (active_sessions_ > 0) --active_sessions_;
+  const bool abusive = h2::abusive_close_reason(reason);
+  if (state.greylisted) {
+    if (!state.probe_outstanding) return;
+    state.probe_outstanding = false;
+    if (!abusive) {
+      // Clean probe: the tag behaves again. Restart with an empty window.
+      state.greylisted = false;
+      state.window.clear();
+      state.abusive = 0;
+      state.attempts_since_probe = 0;
+      ++ungreylists_;
+    }
+    return;
+  }
+  state.window.push_back(abusive);
+  if (abusive) ++state.abusive;
+  while (state.window.size() > options_.window) {
+    if (state.window.front()) --state.abusive;
+    state.window.pop_front();
+  }
+  if (state.window.size() >= options_.min_observations &&
+      static_cast<double>(state.abusive) >=
+          options_.abusive_threshold *
+              static_cast<double>(state.window.size())) {
+    state.greylisted = true;
+    state.attempts_since_probe = 0;
+    state.probe_outstanding = false;
+    ++greylists_;
+  }
+}
+
+bool AdmissionController::greylisted(const std::string& client_tag) const {
+  auto it = tags_.find(client_tag);
+  return it != tags_.end() && it->second.greylisted;
+}
+
+}  // namespace origin::cdn

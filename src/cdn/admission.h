@@ -1,0 +1,97 @@
+// PoP-level admission control and load shedding.
+//
+// The kill-switch (kill_switch.h) protects the ORIGIN feature; this class
+// protects the serving capacity itself. It sits in front of a
+// server::Http2Server via ServerConfig::admission_gate /
+// admission_feedback and makes three deterministic decisions per
+// connection attempt:
+//
+//   capacity   — a hard cap on concurrently admitted sessions at the PoP
+//                (the accept-queue bound), plus a per-client-tag
+//                concurrency cap so one client cannot take the whole PoP;
+//   greylist   — the kill-switch's sliding-window idiom applied to
+//                overload sheds: a tag whose admitted sessions keep ending
+//                in "overload:/admission:/drain:" closes is refused
+//                outright, with every `probe_after`-th attempt admitted as
+//                a probe (a clean probe close clears the tag);
+//   drain      — once begin_drain() is called, everything is refused.
+//
+// Decisions are pure functions of the observed close-reason stream, so a
+// run is replayable bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace origin::cdn {
+
+struct AdmissionOptions {
+  // Concurrently admitted sessions across the whole PoP (0 = unlimited).
+  std::size_t max_sessions = 0;
+  // Concurrently admitted sessions per client tag (0 = unlimited).
+  std::size_t max_sessions_per_tag = 0;
+  // Sliding window of per-session outcomes feeding the greylist.
+  std::size_t window = 16;
+  // Greylist when abusive_closes/window_size >= threshold ...
+  double abusive_threshold = 0.5;
+  // ... but only after at least this many observations.
+  std::size_t min_observations = 4;
+  // While greylisted, every Nth attempt is admitted as a probe; a clean
+  // probe close clears the tag.
+  std::size_t probe_after = 8;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options = {})
+      : options_(options) {}
+
+  // Gate consulted at accept time (wire into ServerConfig::admission_gate).
+  // nullopt admits the connection and counts it against the caps; a string
+  // is the verbatim shed reason the server will close with.
+  std::optional<std::string> admit(const std::string& client_tag);
+
+  // Outcome feed (wire into ServerConfig::admission_feedback): releases the
+  // session's capacity slot and feeds the tag's greylist window with
+  // whether the close was a server-side shed (h2::abusive_close_reason).
+  void record_close(const std::string& client_tag, const std::string& reason);
+
+  // Refuse everything from now on (pair with Http2Server::begin_drain).
+  void begin_drain() { draining_ = true; }
+  bool draining() const { return draining_; }
+
+  bool greylisted(const std::string& client_tag) const;
+  std::size_t active_sessions() const { return active_sessions_; }
+  std::uint64_t admitted() const { return admitted_; }
+  std::uint64_t rejected() const { return rejected_; }
+  std::uint64_t greylists() const { return greylists_; }
+  std::uint64_t probes() const { return probes_; }
+  std::uint64_t ungreylists() const { return ungreylists_; }
+
+ private:
+  struct TagState {
+    std::size_t active = 0;
+    std::deque<bool> window;  // true = abusive close
+    std::size_t abusive = 0;
+    bool greylisted = false;
+    // Attempts refused since the last probe while greylisted.
+    std::size_t attempts_since_probe = 0;
+    // A probe session is in flight; its close decides clear vs stay dark.
+    bool probe_outstanding = false;
+  };
+
+  AdmissionOptions options_;
+  std::map<std::string, TagState> tags_;
+  std::size_t active_sessions_ = 0;
+  bool draining_ = false;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t greylists_ = 0;
+  std::uint64_t probes_ = 0;
+  std::uint64_t ungreylists_ = 0;
+};
+
+}  // namespace origin::cdn

@@ -26,7 +26,8 @@ Deployment::Deployment(dataset::Corpus& corpus, DeploymentOptions options)
     : corpus_(corpus),
       options_(std::move(options)),
       rng_(options_.seed),
-      kill_switch_(options_.kill_switch) {
+      kill_switch_(options_.kill_switch),
+      admission_(options_.admission) {
   // A valid, unused domain with the same byte length as the third party
   // (Figure 6: both groups' certificates grow by identical byte counts).
   control_pad_ = "unusedpad.control.io";
@@ -356,6 +357,16 @@ void Deployment::attach_kill_switch(server::Http2Server& server) {
     kill_switch_.record_outcome(client_tag, origin_sent,
                                 abnormal_close(reason));
   });
+}
+
+void Deployment::attach_admission(server::Http2Server& server) {
+  server.set_admission_gate([this](const std::string& client_tag) {
+    return admission_.admit(client_tag);
+  });
+  server.set_admission_feedback(
+      [this](const std::string& client_tag, const std::string& reason) {
+        admission_.record_close(client_tag, reason);
+      });
 }
 
 }  // namespace origin::cdn

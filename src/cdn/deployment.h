@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "browser/page_loader.h"
+#include "cdn/admission.h"
 #include "cdn/kill_switch.h"
 // The §5 deployment experiment orchestrates the corpus and the passive
 // pipeline end to end; it is the one sanctioned consumer of the
@@ -57,6 +58,9 @@ struct DeploymentOptions {
   // §6.7 safety valve: parameters for the per-client-tag ORIGIN
   // kill-switch (see cdn/kill_switch.h).
   KillSwitchOptions kill_switch;
+  // PoP overload protection: admission caps and the abuse greylist
+  // (see cdn/admission.h).
+  AdmissionOptions admission;
 };
 
 class Deployment {
@@ -118,6 +122,15 @@ class Deployment {
   OriginKillSwitch& kill_switch() { return kill_switch_; }
   const OriginKillSwitch& kill_switch() const { return kill_switch_; }
 
+  // Wires this deployment's admission controller into a wire-level server:
+  // the gate sheds connection attempts at accept time (capacity caps and
+  // the per-tag abuse greylist), and every admitted close releases the
+  // slot and feeds the greylist window. The deployment must outlive the
+  // server's use of these callbacks.
+  void attach_admission(server::Http2Server& server);
+  AdmissionController& admission() { return admission_; }
+  const AdmissionController& admission() const { return admission_; }
+
  private:
   void reissue_certificates();
   void set_origin_frames(bool enabled);
@@ -134,6 +147,7 @@ class Deployment {
   bool ip_deployed_ = false;
   bool origin_deployed_ = false;
   OriginKillSwitch kill_switch_;
+  AdmissionController admission_;
 };
 
 }  // namespace origin::cdn

@@ -270,7 +270,33 @@ Status Connection::receive(std::span<const std::uint8_t> bytes) {
   }
   for (Frame& frame : frames.value()) {
     frame_counts_[frame_type_of(frame)]++;
+    ++total_frames_received_;
     if (auto s = handle_frame(std::move(frame)); !s.ok()) return s;
+  }
+  return {};
+}
+
+namespace {
+
+// RFC 9113 §10.5.1: a field's accounted size is name + value + 32 octets of
+// per-entry overhead; SETTINGS_MAX_HEADER_LIST_SIZE bounds the sum.
+std::uint64_t header_list_size(const hpack::HeaderList& headers) {
+  std::uint64_t total = 0;
+  for (const auto& header : headers) {
+    total += header.name.size() + header.value.size() + 32;
+  }
+  return total;
+}
+
+}  // namespace
+
+Status Connection::check_header_list_size(const hpack::HeaderList& headers) {
+  if (header_list_size(headers) > local_settings_.max_header_list_size) {
+    // ENHANCE_YOUR_CALM rather than PROTOCOL_ERROR: the peer is burning our
+    // memory budget, not breaking framing (header-bomb defense).
+    return connection_error(ErrorCode::kEnhanceYourCalm,
+                            "h2: header list exceeds "
+                            "SETTINGS_MAX_HEADER_LIST_SIZE");
   }
   return {};
 }
@@ -327,6 +353,9 @@ Status Connection::handle_frame(Frame frame) {
             return connection_error(ErrorCode::kCompressionError,
                                     headers.error().message);
           }
+          if (auto s = check_header_list_size(headers.value()); !s.ok()) {
+            return s;
+          }
           if (f.end_stream) {
             if (auto s = stream.apply(StreamEvent::kRecvEndStream); !s.ok()) {
               return connection_error(ErrorCode::kProtocolError,
@@ -345,6 +374,16 @@ Status Connection::handle_frame(Frame frame) {
           pending_headers_->fragments.insert(pending_headers_->fragments.end(),
                                              f.header_block.begin(),
                                              f.header_block.end());
+          // HPACK never inflates: compressed fragments at least as large as
+          // the configured decoded-size limit cannot decode under it, so an
+          // endless never-END_HEADERS CONTINUATION stream is cut off here
+          // instead of accumulating fragments without bound (header bomb).
+          if (pending_headers_->fragments.size() >
+              local_settings_.max_header_list_size) {
+            return connection_error(ErrorCode::kEnhanceYourCalm,
+                                    "h2: continuation fragments exceed "
+                                    "SETTINGS_MAX_HEADER_LIST_SIZE");
+          }
           if (!f.end_headers) return {};
           PendingHeaderBlock block = std::move(*pending_headers_);
           pending_headers_.reset();
@@ -352,6 +391,9 @@ Status Connection::handle_frame(Frame frame) {
           if (!headers.ok()) {
             return connection_error(ErrorCode::kCompressionError,
                                     headers.error().message);
+          }
+          if (auto s = check_header_list_size(headers.value()); !s.ok()) {
+            return s;
           }
           Stream& stream = ensure_stream(block.stream_id);
           if (block.end_stream) {
@@ -433,6 +475,7 @@ Status Connection::handle_frame(Frame frame) {
             ack.ack = true;
             ack.opaque = f.opaque;
             enqueue(Frame{ack});
+            if (callbacks_.on_ping) callbacks_.on_ping(f);
           }
           return {};
         } else if constexpr (std::is_same_v<T, GoAwayFrame>) {

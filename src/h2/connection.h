@@ -47,6 +47,9 @@ struct ConnectionCallbacks {
   // An unknown/extension frame arrived (and was ignored, as the spec
   // requires). Exposed so tests can observe fail-open behaviour.
   std::function<void(const UnknownFrame&)> on_unknown_frame;
+  // A peer PING arrived (the ack is queued internally before this fires).
+  // Servers use it to account PING-flood budgets.
+  std::function<void(const PingFrame&)> on_ping;
 };
 
 class Connection {
@@ -129,6 +132,9 @@ class Connection {
     return goaway_received_;
   }
   std::uint64_t frames_received(FrameType type) const;
+  // Total frames of every type this connection has parsed; the input to
+  // connection-lifetime frame-rate budgets.
+  std::uint64_t total_frames_received() const { return total_frames_received_; }
   std::int64_t connection_send_window() const {
     return send_window_.available();
   }
@@ -136,6 +142,10 @@ class Connection {
  private:
   [[nodiscard]] origin::util::Status handle_frame(Frame frame);
   [[nodiscard]] origin::util::Status connection_error(ErrorCode code, std::string message);
+  // Enforces local SETTINGS_MAX_HEADER_LIST_SIZE on a decoded header list
+  // (RFC 9113 §10.5.1 accounting: name + value + 32 per field).
+  [[nodiscard]] origin::util::Status check_header_list_size(
+      const hpack::HeaderList& headers);
   Stream& ensure_stream(std::uint32_t id);
   void enqueue(const Frame& frame);
 
@@ -166,6 +176,7 @@ class Connection {
   bool failed_ = false;
   std::optional<GoAwayFrame> goaway_received_;
   std::map<FrameType, std::uint64_t> frame_counts_;
+  std::uint64_t total_frames_received_ = 0;
 
   // A HEADERS without END_HEADERS leaves the connection in "continuation
   // expected" state; only CONTINUATION on the same stream is then legal.

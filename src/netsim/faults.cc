@@ -253,6 +253,7 @@ void RobustnessStats::merge(const RobustnessStats& other) {
   avoided_coalescings += other.avoided_coalescings;
   redispatched_streams += other.redispatched_streams;
   goaways_received += other.goaways_received;
+  goaway_redispatches += other.goaway_redispatches;
   connections_torn_down += other.connections_torn_down;
   deadline_expirations += other.deadline_expirations;
   for (const auto& [reason, count] : other.teardown_reasons) {
@@ -281,6 +282,7 @@ std::string RobustnessStats::serialize() const {
   field("avoided_coalescings", avoided_coalescings);
   field("redispatched_streams", redispatched_streams);
   field("goaways_received", goaways_received);
+  field("goaway_redispatches", goaway_redispatches);
   field("connections_torn_down", connections_torn_down);
   field("deadline_expirations", deadline_expirations);
   // std::map iterates sorted: the reason block is canonical byte-for-byte.

@@ -129,6 +129,9 @@ struct RobustnessStats {
   std::uint64_t avoided_coalescings = 0;
   std::uint64_t redispatched_streams = 0;
   std::uint64_t goaways_received = 0;
+  // Streams re-dispatched budget-free because the server's GOAWAY was a
+  // graceful drain (NO_ERROR) rather than a failure.
+  std::uint64_t goaway_redispatches = 0;
   std::uint64_t connections_torn_down = 0;
   std::uint64_t deadline_expirations = 0;
   std::map<std::string, std::uint64_t> teardown_reasons;

@@ -13,9 +13,12 @@
 
 #include "h2/frame.h"
 #include "hpack/hpack.h"
+#include "netsim/faults.h"
+#include "netsim/network.h"
+#include "netsim/simulator.h"
+#include "server/http2_server.h"
 #include "util/bytes.h"
 #include "util/json.h"
-#include "netsim/faults.h"
 #include "web/har_json.h"
 
 namespace {
@@ -268,6 +271,199 @@ TEST(FuzzRegressionFaultPlan, WhitespaceAndTrailingCommaAccepted) {
   ASSERT_TRUE(config.ok());
   EXPECT_DOUBLE_EQ(config->connect_timeout, 0.5);
   EXPECT_DOUBLE_EQ(config->truncate, 0.5);
+}
+
+// --- Server session (hostile client bytes) -------------------------------
+//
+// These mirror the fuzz/corpus/server_session seeds: a server with every
+// overload defense armed on tiny budgets must shed, reap, or serve each
+// input with a recorded reason and zero sessions left after quiescence.
+
+origin::server::OverloadConfig tiny_budgets() {
+  origin::server::OverloadConfig overload;
+  overload.enabled = true;
+  overload.max_session_rsts = 8;
+  overload.max_session_pings = 8;
+  overload.max_session_settings = 4;
+  overload.max_session_header_bytes = 2048;
+  overload.max_session_response_bytes = 64 * 1024;
+  overload.max_session_streams = 8;
+  overload.frame_budget_grace = 64;
+  overload.stall_timeout = origin::util::Duration::millis(200);
+  overload.sweep_interval = origin::util::Duration::millis(50);
+  overload.drain_grace = origin::util::Duration::millis(100);
+  overload.drain_linger = origin::util::Duration::millis(20);
+  return overload;
+}
+
+// HPACK block for GET https://www.site.com/ — the exact bytes the corpus
+// seeds carry: indexed :method GET, :scheme https, :path /, then a literal
+// :authority.
+Bytes get_header_block() {
+  Bytes block = bytes({0x82, 0x87, 0x84, 0x41, 0x0c});
+  for (char c : std::string("www.site.com")) {
+    block.push_back(static_cast<std::uint8_t>(c));
+  }
+  return block;
+}
+
+struct ServerSessionResult {
+  origin::server::Http2Server::Stats stats;
+  std::size_t live_after = 0;
+  std::string client_close;
+};
+
+ServerSessionResult run_server_session(const Bytes& payload,
+                                       bool with_preface = true,
+                                       bool drain_midway = false) {
+  origin::netsim::Simulator sim;
+  origin::netsim::Network net(sim);
+  origin::server::ServerConfig config;
+  config.overload = tiny_budgets();
+  origin::server::Http2Server server(std::move(config));
+  server.add_vhost("www.site.com", [](std::string_view) {
+    origin::server::Response response;
+    response.body = Bytes(512, 0x2a);
+    return response;
+  });
+  const auto addr = origin::dns::IpAddress::v4(1);
+  server.listen(net, addr);
+
+  Bytes wire;
+  if (with_preface) {
+    wire.assign(origin::h2::kClientPreface.begin(),
+                origin::h2::kClientPreface.end());
+  }
+  wire.insert(wire.end(), payload.begin(), payload.end());
+
+  ServerSessionResult result;
+  net.connect("regression-client", addr,
+              [&](origin::util::Result<origin::netsim::TcpEndpoint> endpoint) {
+                ASSERT_TRUE(endpoint.ok());
+                auto wire_endpoint = origin::netsim::TcpEndpoint(*endpoint);
+                wire_endpoint.set_on_close([&result](const std::string& reason) {
+                  result.client_close = reason;
+                });
+                if (!wire.empty()) wire_endpoint.send(wire);
+              });
+  if (drain_midway) {
+    sim.schedule(origin::util::Duration::millis(40),
+                 [&server]() { server.begin_drain("regression drain"); });
+  }
+  sim.run_until_idle();
+  result.stats = server.stats();
+  result.live_after = server.live_sessions();
+  return result;
+}
+
+TEST(FuzzRegressionServerSession, CleanGetServesThenStallSweepReaps) {
+  // corpus: server_session/clean_get.bin — SETTINGS + a well-formed GET;
+  // the client never hangs up, so the stall sweep must reap the session.
+  Bytes payload = origin::h2::serialize_frame(origin::h2::SettingsFrame{});
+  origin::h2::HeadersFrame get;
+  get.stream_id = 1;
+  get.header_block = get_header_block();
+  get.end_stream = true;
+  for (std::uint8_t b : origin::h2::serialize_frame(get)) payload.push_back(b);
+
+  auto result = run_server_session(payload);
+  EXPECT_EQ(result.stats.responses_200, 1u);
+  EXPECT_EQ(result.stats.close_reasons.count("overload: stall timeout"), 1u);
+  EXPECT_EQ(result.live_after, 0u);
+}
+
+TEST(FuzzRegressionServerSession, PingFloodShedPastBudget) {
+  // corpus: server_session/ping_flood.bin — 12 PINGs against a budget of 8.
+  Bytes payload = origin::h2::serialize_frame(origin::h2::SettingsFrame{});
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    origin::h2::PingFrame ping;
+    ping.opaque = i;
+    for (std::uint8_t b : origin::h2::serialize_frame(ping)) payload.push_back(b);
+  }
+  auto result = run_server_session(payload);
+  EXPECT_EQ(result.stats.sessions_shed, 1u);
+  EXPECT_EQ(result.stats.close_reasons.count("overload: ping flood"), 1u);
+  EXPECT_EQ(result.client_close, "overload: ping flood");
+  EXPECT_EQ(result.live_after, 0u);
+}
+
+TEST(FuzzRegressionServerSession, RapidResetShedPastRstBudget) {
+  // corpus: server_session/rapid_reset.bin — 12 open-and-cancel rounds
+  // against an RST budget of 8.
+  Bytes payload = origin::h2::serialize_frame(origin::h2::SettingsFrame{});
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    origin::h2::HeadersFrame open;
+    open.stream_id = 1 + 2 * i;
+    open.header_block = get_header_block();
+    open.end_stream = false;
+    for (std::uint8_t b : origin::h2::serialize_frame(open)) payload.push_back(b);
+    origin::h2::RstStreamFrame cancel;
+    cancel.stream_id = 1 + 2 * i;
+    cancel.error = origin::h2::ErrorCode::kCancel;
+    for (std::uint8_t b : origin::h2::serialize_frame(cancel)) {
+      payload.push_back(b);
+    }
+  }
+  auto result = run_server_session(payload);
+  EXPECT_EQ(result.stats.sessions_shed, 1u);
+  EXPECT_EQ(result.stats.close_reasons.count("overload: rapid-reset flood"),
+            1u);
+  EXPECT_EQ(result.live_after, 0u);
+}
+
+TEST(FuzzRegressionServerSession, BadPrefaceIsProtocolErrorNotCrash) {
+  // corpus: server_session/bad_preface.bin — HTTP/1.1 bytes where the h2
+  // preface belongs.
+  Bytes payload;
+  for (char c : std::string("GET / HTTP/1.1\r\nHost: www.site.com\r\n\r\n")) {
+    payload.push_back(static_cast<std::uint8_t>(c));
+  }
+  auto result = run_server_session(payload, /*with_preface=*/false);
+  EXPECT_EQ(result.stats.h2_protocol_errors, 1u);
+  EXPECT_NE(result.client_close.find("h2 protocol error"), std::string::npos);
+  EXPECT_EQ(result.live_after, 0u);
+}
+
+TEST(FuzzRegressionServerSession, PartialPrefaceReapedByStallSweep) {
+  // corpus: server_session/slowloris_trickle.bin — 8 preface bytes, then
+  // silence; only the deadline-driven sweep can reclaim the session.
+  Bytes payload;
+  for (char c : std::string("PRI * HT")) {
+    payload.push_back(static_cast<std::uint8_t>(c));
+  }
+  auto result = run_server_session(payload, /*with_preface=*/false);
+  EXPECT_EQ(result.stats.sessions_reaped_stalled, 1u);
+  EXPECT_EQ(result.stats.close_reasons.count("overload: stall timeout"), 1u);
+  EXPECT_EQ(result.live_after, 0u);
+}
+
+TEST(FuzzRegressionServerSession, OversizedFrameLengthIsProtocolError) {
+  // corpus: server_session/oversized_frame.bin — 24-bit length 0xffffff
+  // far past SETTINGS_MAX_FRAME_SIZE.
+  Bytes payload = bytes({0xff, 0xff, 0xff, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01});
+  auto result = run_server_session(payload);
+  EXPECT_EQ(result.stats.h2_protocol_errors, 1u);
+  EXPECT_EQ(result.live_after, 0u);
+}
+
+TEST(FuzzRegressionServerSession, DrainMidRequestClosesClean) {
+  // corpus: server_session/drain_midway.bin — begin_drain after a served
+  // GET; the session must close "drain: complete" after the linger, not
+  // hang until the stall sweep.
+  Bytes payload = origin::h2::serialize_frame(origin::h2::SettingsFrame{});
+  origin::h2::HeadersFrame get;
+  get.stream_id = 1;
+  get.header_block = get_header_block();
+  get.end_stream = true;
+  for (std::uint8_t b : origin::h2::serialize_frame(get)) payload.push_back(b);
+
+  auto result = run_server_session(payload, /*with_preface=*/true,
+                                   /*drain_midway=*/true);
+  EXPECT_EQ(result.stats.drains_started, 1u);
+  EXPECT_EQ(result.stats.drained_clean, 1u);
+  EXPECT_EQ(result.stats.close_reasons.count("drain: complete"), 1u);
+  EXPECT_EQ(result.client_close, "drain: complete");
+  EXPECT_EQ(result.live_after, 0u);
 }
 
 }  // namespace

@@ -65,6 +65,17 @@
 //                         baseline (baseline_model.cc) and deliberately
 //                         ordered report tables carry audited waivers.
 //
+//   server-close-recorded In src/server, calling close() on a transport
+//                         endpoint directly is forbidden: every
+//                         server-initiated close must funnel through
+//                         Http2Server::close_endpoint, which records the
+//                         verbatim reason in Stats::close_reasons before
+//                         tearing the transport down. A bypassed close is
+//                         an unaudited shed — the overload ledger (and the
+//                         1-vs-8-thread determinism checks built on it)
+//                         silently loses an entry. The one audited call
+//                         site inside close_endpoint carries the waiver.
+//
 //   guarded-by-annotation members declared in the block following a mutex
 //                         member must carry ORIGIN_GUARDED_BY /
 //                         ORIGIN_PT_GUARDED_BY (sync primitives, immutable
@@ -156,6 +167,7 @@ class Linter {
     const bool header = model.is_header;
     const bool parser_dir = in_parser_dir(rel);
     const bool close_reason_dir = in_close_reason_dir(rel);
+    const bool server_dir = first_component(rel) == "server";
     const bool is_result_header = rel == std::filesystem::path("util/result.h");
     const bool is_check_header = rel == std::filesystem::path("util/check.h");
 
@@ -181,6 +193,9 @@ class Linter {
         R"(^\s*(const\s+|static\s+|constexpr\s+|mutable\s+)*[\w:]+(<[^;()]*>)?(\s*[*&])?\s+\w+\s*(=\s*[^;()]*)?(\{[^;()]*\})?\s*;)");
     static const std::regex access_specifier(R"(^\s*(public|private|protected)\s*:)");
 
+    // Transport-level close calls (`x.close(` / `x->close(`); plain
+    // `close_endpoint(...)` / `close_session(...)` calls do not match.
+    static const std::regex endpoint_close(R"((\.|->)\s*close\s*\()");
     static const std::regex close_reason_bound(
         R"(const\s+std::string&\s*[A-Za-z_])");
     // Matches std::string and std::string_view keys alike (the latter by
@@ -286,6 +301,17 @@ class Linter {
                  "close reason (const std::string& reason) — it carries the "
                  "teardown cause the degradation layer keys on");
         }
+      }
+
+      // server-close-recorded: a direct transport close in src/server
+      // bypasses the close_endpoint audit that records the reason in
+      // Stats::close_reasons; only the audited call site is waived.
+      if (server_dir && !comment &&
+          std::regex_search(line, endpoint_close)) {
+        report(rel, lineno, "server-close-recorded",
+               "server-initiated closes must go through "
+               "Http2Server::close_endpoint so the reason lands in "
+               "Stats::close_reasons; a raw close() is an unaudited shed");
       }
 
       if (in_interned_hot_path(rel) && !comment &&
