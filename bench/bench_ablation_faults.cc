@@ -332,6 +332,8 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  \"seed\": %llu,\n",
                static_cast<unsigned long long>(seed));
   std::fprintf(out, "  \"loads_per_cell\": %zu,\n", kLoadsPerCell);
+  std::fprintf(out, "  \"peak_rss_bytes\": %llu,\n",
+               static_cast<unsigned long long>(bench::peak_rss_bytes()));
   std::fprintf(out, "  \"cells\": [\n");
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& cell = cells[i];

@@ -382,6 +382,7 @@ int main(int argc, char** argv) {
   doc["defended_attack_completion"] = on_attack->completion();
   doc["defended_attack_p99_ms"] = on_attack->percentile_ms(0.99);
   doc["deterministic_across_threads"] = deterministic;
+  doc["peak_rss_bytes"] = bench::peak_rss_bytes();
   const std::string rendered = util::Json(std::move(doc)).dump(2) + "\n";
 
   if (!write_file("BENCH_overload.json", rendered)) {

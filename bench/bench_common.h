@@ -5,6 +5,8 @@
 // Defaults reproduce the committed EXPERIMENTS.md numbers exactly.
 #pragma once
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,6 +17,15 @@
 #include "measure/reports.h"
 
 namespace origin::bench {
+
+// Peak resident set size of this process so far, in bytes (ru_maxrss is
+// kilobytes on Linux). Monotonic over the process lifetime — order legs
+// smallest-footprint-first when comparing phases within one run.
+inline std::uint64_t peak_rss_bytes() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+}
 
 struct Args {
   std::size_t sites = 20'000;

@@ -1,0 +1,321 @@
+// Streaming-corpus bench: out-of-core generate -> analyze -> reconstruct
+// (dataset::StreamingCorpus, DESIGN.md §14) against the fully materialized
+// seed path, on the same corpus in the same run.
+//
+// Legs, in this order (peak RSS via getrusage is monotonic, so the
+// bounded-memory streamed leg must run before the materialized one):
+//   1. golden equality — a 1k-site corpus streamed at 1 thread, 8 threads,
+//      a different shard size, and fully materialized must produce
+//      field-identical StreamStats (FNV digests over the serialized HAR of
+//      every measured and reconstructed page);
+//   2. streamed main run — ORIGIN_CORPUS_SITES sites (default 50,000;
+//      the committed baseline is a 1M+ run) spilled to ORIGIN_CORPUS_DIR
+//      with ORIGIN_CORPUS_SHARDS shards (0 = 4,096 sites per shard),
+//      reporting sites/sec and the peak RSS at which it completed;
+//   3. materialized comparison at min(sites, 100,000) — the RSS and
+//      wall-clock the seed path pays for the same work.
+//
+// Emits BENCH_corpus.json in the working directory and, when built with
+// ORIGIN_REPO_ROOT, gates against the repo-root committed baseline:
+//   * golden equality failure is always fatal;
+//   * streamed sites/sec must not regress >10% vs the committed baseline;
+//   * the committed baseline is refreshed only when this run covered at
+//     least as many sites as the committed one (so a 50k CI run never
+//     overwrites the 1M-site reference numbers).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "dataset/corpus.h"
+#include "util/json.h"
+
+namespace {
+
+using origin::dataset::StreamStats;
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+}
+
+std::string env_string(const char* name, const char* fallback) {
+  const char* value = std::getenv(name);
+  return (value == nullptr || *value == '\0') ? fallback : value;
+}
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+double sites_per_sec(std::size_t sites, double ms) {
+  return ms <= 0 ? 0.0 : static_cast<double>(sites) * 1000.0 / ms;
+}
+
+bool same_stats(const StreamStats& a, const StreamStats& b) {
+  return a.sites == b.sites && a.pages == b.pages && a.entries == b.entries &&
+         a.measured_digest == b.measured_digest &&
+         a.reconstructed_digest == b.reconstructed_digest &&
+         a.measured_dns == b.measured_dns && a.measured_tls == b.measured_tls &&
+         a.measured_validations == b.measured_validations &&
+         a.ideal_origin_dns == b.ideal_origin_dns &&
+         a.ideal_origin_tls == b.ideal_origin_tls &&
+         a.ideal_origin_validations == b.ideal_origin_validations &&
+         a.ideal_ip_dns == b.ideal_ip_dns && a.ideal_ip_tls == b.ideal_ip_tls &&
+         a.measured_plt_us == b.measured_plt_us &&
+         a.reconstructed_plt_us == b.reconstructed_plt_us;
+}
+
+// Runs one streamed sweep over a fresh 1k corpus with the given knobs.
+StreamStats golden_streamed(std::uint64_t seed, std::size_t threads,
+                            std::size_t sites_per_shard, bool* ok) {
+  using namespace origin;
+  dataset::CorpusOptions corpus_options;
+  corpus_options.site_count = 1'000;
+  corpus_options.seed = seed;
+  dataset::Corpus corpus(corpus_options);
+
+  dataset::StreamingOptions options;
+  options.loader = origin::bench::chrome_collect_options().loader;
+  options.threads = threads;
+  options.sites_per_shard = sites_per_shard;
+  dataset::StreamingCorpus streaming(corpus, options);
+  auto stats = streaming.run();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "golden streamed run failed: %s\n",
+                 stats.error().message.c_str());
+    *ok = false;
+    return {};
+  }
+  return *stats;
+}
+
+// Reads the committed baseline's site count and streamed throughput.
+// Returns false when there is no baseline (first run) or it is unreadable.
+bool committed_baseline(const std::string& path, double* sites,
+                        double* streamed_sps) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = origin::util::Json::parse(buffer.str());
+  if (!parsed.ok()) return false;
+  *sites = (*parsed)["eligible_sites"].double_or(0.0);
+  *streamed_sps = (*parsed)["streamed"]["sites_per_sec"].double_or(0.0);
+  return *streamed_sps > 0;
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << contents;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace origin;
+  auto args = bench::Args::parse(argc, argv);
+  args.sites = env_size("ORIGIN_CORPUS_SITES", 50'000);
+  bench::print_header(
+      "Streaming corpus: columnar shards, spill-to-disk, out-of-core replay",
+      "engineering bench (no paper figure); DESIGN.md §14 memory/throughput "
+      "contract",
+      args);
+
+  const std::size_t threads = 8;
+  const std::string spill_dir = env_string("ORIGIN_CORPUS_DIR",
+                                           "bench_corpus_spill");
+  const std::size_t shard_count = env_size("ORIGIN_CORPUS_SHARDS", 0);
+
+  // Leg 1: golden equality on a small corpus — streamed results must be
+  // field-identical at any thread count and shard size, and identical to
+  // the fully materialized path.
+  bool golden_ok = true;
+  const StreamStats golden_serial =
+      golden_streamed(args.seed, 1, 137, &golden_ok);
+  const StreamStats golden_threaded =
+      golden_streamed(args.seed, threads, 137, &golden_ok);
+  const StreamStats golden_resharded =
+      golden_streamed(args.seed, threads, 64, &golden_ok);
+  StreamStats golden_materialized;
+  {
+    dataset::CorpusOptions corpus_options;
+    corpus_options.site_count = 1'000;
+    corpus_options.seed = args.seed;
+    dataset::Corpus corpus(corpus_options);
+    dataset::StreamingOptions options;
+    options.loader = bench::chrome_collect_options().loader;
+    options.threads = threads;
+    auto stats = dataset::run_materialized(corpus, options);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "golden materialized run failed: %s\n",
+                   stats.error().message.c_str());
+      golden_ok = false;
+    } else {
+      golden_materialized = *stats;
+    }
+  }
+  golden_ok = golden_ok && same_stats(golden_serial, golden_threaded) &&
+              same_stats(golden_serial, golden_resharded) &&
+              same_stats(golden_serial, golden_materialized);
+  std::printf("golden 1k equality (1t / 8t / reshard / materialized): %s\n",
+              golden_ok ? "identical" : "MISMATCH");
+  std::printf("  measured=%016llx reconstructed=%016llx\n\n",
+              static_cast<unsigned long long>(golden_serial.measured_digest),
+              static_cast<unsigned long long>(
+                  golden_serial.reconstructed_digest));
+
+  // Leg 2: streamed main run (before the materialized leg — ru_maxrss only
+  // grows, so this ordering captures the streamed path's true peak).
+  dataset::CorpusOptions corpus_options;
+  corpus_options.site_count = args.sites;
+  corpus_options.seed = args.seed;
+  corpus_options.threads = threads;
+  dataset::Corpus corpus(corpus_options);
+
+  dataset::StreamingOptions streamed_options;
+  streamed_options.loader = bench::chrome_collect_options().loader;
+  streamed_options.threads = threads;
+  streamed_options.shard_count = shard_count;
+  streamed_options.spill_dir = spill_dir;
+
+  auto t0 = std::chrono::steady_clock::now();
+  dataset::StreamingCorpus streaming(corpus, streamed_options);
+  auto streamed = streaming.run();
+  const double streamed_ms = ms_since(t0);
+  if (!streamed.ok()) {
+    std::fprintf(stderr, "streamed run failed: %s\n",
+                 streamed.error().message.c_str());
+    return 1;
+  }
+  const std::uint64_t streamed_rss = bench::peak_rss_bytes();
+  const double streamed_sps = sites_per_sec(streamed->sites, streamed_ms);
+  std::printf(
+      "streamed    %9zu sites  %8zu shards  %6.1f MiB snapshots  "
+      "%9.1f s  %7.0f sites/s  peak RSS %.0f MiB\n",
+      streamed->sites, streamed->shards,
+      static_cast<double>(streamed->snapshot_bytes) / (1024.0 * 1024.0),
+      streamed_ms / 1000.0, streamed_sps,
+      static_cast<double>(streamed_rss) / (1024.0 * 1024.0));
+
+  // Leg 3: the seed's materialized path on the same corpus, capped so the
+  // resident HAR set stays inside the host even at 1M-site streamed runs.
+  const std::size_t materialized_sites = args.sites < 100'000 ? args.sites
+                                                              : 100'000;
+  dataset::StreamingOptions materialized_options = streamed_options;
+  materialized_options.max_sites = materialized_sites;
+  t0 = std::chrono::steady_clock::now();
+  auto materialized = dataset::run_materialized(corpus, materialized_options);
+  const double materialized_ms = ms_since(t0);
+  if (!materialized.ok()) {
+    std::fprintf(stderr, "materialized run failed: %s\n",
+                 materialized.error().message.c_str());
+    return 1;
+  }
+  const std::uint64_t materialized_rss = bench::peak_rss_bytes();
+  const double materialized_sps =
+      sites_per_sec(materialized->sites, materialized_ms);
+  std::printf(
+      "materialized %8zu sites  %38s  %9.1f s  %7.0f sites/s  "
+      "peak RSS %.0f MiB\n",
+      materialized->sites, "(in-memory, no shards)",
+      materialized_ms / 1000.0, materialized_sps,
+      static_cast<double>(materialized_rss) / (1024.0 * 1024.0));
+
+  // When the materialized leg covered the whole corpus the two sweeps must
+  // agree exactly — the golden equality at full scale, for free.
+  bool full_match = true;
+  if (materialized->sites == streamed->sites) {
+    full_match = same_stats(*streamed, *materialized);
+    std::printf("full-corpus streamed == materialized: %s\n",
+                full_match ? "identical" : "MISMATCH");
+  }
+
+  util::Json::Object doc;
+  doc["bench"] = "corpus";
+  doc["seed"] = args.seed;
+  doc["sites"] = args.sites;
+  doc["eligible_sites"] = static_cast<std::uint64_t>(streamed->sites);
+  doc["threads"] = threads;
+  doc["golden_ok"] = golden_ok;
+  {
+    char digest[32];
+    util::Json::Object leg;
+    leg["sites"] = static_cast<std::uint64_t>(streamed->sites);
+    leg["pages"] = static_cast<std::uint64_t>(streamed->pages);
+    leg["entries"] = static_cast<std::uint64_t>(streamed->entries);
+    leg["shards"] = static_cast<std::uint64_t>(streamed->shards);
+    leg["snapshot_bytes"] = streamed->snapshot_bytes;
+    leg["wall_ms"] = streamed_ms;
+    leg["sites_per_sec"] = streamed_sps;
+    leg["peak_rss_bytes"] = streamed_rss;
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(streamed->measured_digest));
+    leg["measured_digest"] = digest;
+    std::snprintf(
+        digest, sizeof(digest), "%016llx",
+        static_cast<unsigned long long>(streamed->reconstructed_digest));
+    leg["reconstructed_digest"] = digest;
+    doc["streamed"] = util::Json(std::move(leg));
+  }
+  {
+    util::Json::Object leg;
+    leg["sites"] = static_cast<std::uint64_t>(materialized->sites);
+    leg["wall_ms"] = materialized_ms;
+    leg["sites_per_sec"] = materialized_sps;
+    leg["peak_rss_bytes"] = materialized_rss;
+    leg["matches_streamed_at_full_corpus"] = full_match;
+    doc["materialized"] = util::Json(std::move(leg));
+  }
+  const std::string rendered = util::Json(std::move(doc)).dump(2) + "\n";
+
+  if (!write_file("BENCH_corpus.json", rendered)) {
+    std::fprintf(stderr, "cannot write BENCH_corpus.json\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_corpus.json\n");
+
+  int exit_code = 0;
+  if (!golden_ok || !full_match) {
+    std::fprintf(stderr,
+                 "FAIL: streamed and materialized sweeps disagree — the "
+                 "shard-boundary determinism contract is broken\n");
+    exit_code = 1;
+  }
+
+#ifdef ORIGIN_REPO_ROOT
+  const std::string committed = std::string(ORIGIN_REPO_ROOT) +
+                                "/BENCH_corpus.json";
+  double committed_sites = 0;
+  double committed_sps = 0;
+  if (committed_baseline(committed, &committed_sites, &committed_sps)) {
+    if (streamed_sps < committed_sps * 0.9) {
+      std::fprintf(stderr,
+                   "FAIL: streamed throughput regressed >10%% vs committed "
+                   "baseline (%.0f -> %.0f sites/s); leaving %s untouched\n",
+                   committed_sps, streamed_sps, committed.c_str());
+      exit_code = 1;
+    }
+  }
+  // Refresh only full-coverage runs: a bounded CI sweep gates but never
+  // replaces the committed large-corpus reference numbers.
+  if (exit_code == 0 &&
+      static_cast<double>(streamed->sites) >= committed_sites) {
+    if (!write_file(committed, rendered)) {
+      std::fprintf(stderr, "cannot write %s\n", committed.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", committed.c_str());
+  }
+#endif
+  return exit_code;
+}

@@ -225,6 +225,7 @@ int main(int argc, char** argv) {
   doc["fused_batch"] = entry(fused_consume);  // gate + regression metric
   doc["fused_batch_serial"] = entry(fused_serial);
   doc["fused_speedup_vs_baseline"] = speedup;
+  doc["peak_rss_bytes"] = bench::peak_rss_bytes();
   const std::string rendered = util::Json(std::move(doc)).dump(2) + "\n";
 
   if (!write_file("BENCH_model.json", rendered)) {

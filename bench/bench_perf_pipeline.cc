@@ -123,6 +123,8 @@ int main(int argc, char** argv) {
   append("  \"seed\": %llu,\n", static_cast<unsigned long long>(args.seed));
   append("  \"pages\": %zu,\n", runs.front().pages);
   append("  \"deterministic\": %s,\n", deterministic ? "true" : "false");
+  append("  \"peak_rss_bytes\": %llu,\n",
+         static_cast<unsigned long long>(bench::peak_rss_bytes()));
   append("  \"runs\": [\n");
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const RunResult& r = runs[i];

@@ -1,0 +1,87 @@
+// Fuzz driver: columnar shard-snapshot reader (src/dataset/snapshot.cc).
+//
+// Properties exercised on every input:
+//   1. Totality — SnapshotReader::open never crashes, throws, or reads out
+//      of bounds on arbitrary bytes; malformed snapshots surface as
+//      util::Result errors.
+//   2. Drain invariants — an accepted snapshot yields exactly meta().pages
+//      pages, next_page is false afterwards, and rewind() replays the same
+//      count.
+//   3. Canonical closure — re-appending the decoded pages into a fresh
+//      TimelineColumns and re-encoding produces a snapshot that (a) opens,
+//      (b) decodes to byte-identical HAR pages, and (c) is a fixed point of
+//      encode(decode(·)) — the canonical-form contract in snapshot.h.
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dataset/corpus.h"
+#include "dataset/snapshot.h"
+#include "util/check.h"
+#include "web/har.h"
+#include "web/har_json.h"
+
+namespace {
+
+// Drains every page, returning the serialized HAR of each (the byte-level
+// identity the streaming pipeline's digests are built on).
+std::vector<std::string> drain(origin::dataset::SnapshotReader& reader) {
+  std::vector<std::string> pages;
+  origin::web::PageLoad load;
+  while (reader.next_page(&load)) {
+    pages.push_back(origin::web::to_har_string(load));
+  }
+  return pages;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Bound decode work per input; real shards are bounded by the pipeline's
+  // sites_per_shard and open() already caps row counts.
+  if (size > (1u << 20)) return 0;
+
+  auto reader = origin::dataset::SnapshotReader::open(
+      std::span<const std::uint8_t>(data, size));
+  if (!reader.ok()) return 0;
+
+  const auto meta = reader.value().meta();
+  const auto pages = drain(reader.value());
+  ORIGIN_CHECK(pages.size() == meta.pages,
+               "snapshot fuzz: drained page count != header page count");
+  origin::web::PageLoad extra;
+  ORIGIN_CHECK(!reader.value().next_page(&extra),
+               "snapshot fuzz: next_page produced a page past meta.pages");
+  reader.value().rewind();
+  ORIGIN_CHECK(drain(reader.value()).size() == pages.size(),
+               "snapshot fuzz: rewind changed the page count");
+
+  // Canonical closure: rebuild the columns from the decoded pages and
+  // re-encode. The rebuilt snapshot drops anything unreferenced (e.g. a
+  // trailing unused symbol an adversarial input may carry), so equality is
+  // checked against its own second round trip, not the input bytes.
+  origin::dataset::TimelineColumns columns;
+  columns.set_identity(meta.shard_index, meta.corpus_seed, meta.first_site);
+  reader.value().rewind();
+  origin::web::PageLoad load;
+  while (reader.value().next_page(&load)) columns.append_page(load);
+  const origin::util::Bytes canonical =
+      origin::dataset::encode_snapshot(columns);
+
+  auto reopened = origin::dataset::SnapshotReader::open(
+      std::span<const std::uint8_t>(canonical.data(), canonical.size()));
+  ORIGIN_CHECK(reopened.ok(), "snapshot fuzz: re-encoded snapshot rejected");
+  const auto replayed = drain(reopened.value());
+  ORIGIN_CHECK(replayed == pages,
+               "snapshot fuzz: re-encoded snapshot decoded differently");
+
+  origin::dataset::TimelineColumns again;
+  again.set_identity(meta.shard_index, meta.corpus_seed, meta.first_site);
+  reopened.value().rewind();
+  while (reopened.value().next_page(&load)) again.append_page(load);
+  ORIGIN_CHECK(origin::dataset::encode_snapshot(again) == canonical,
+               "snapshot fuzz: canonical form is not a fixed point");
+  return 0;
+}

@@ -38,7 +38,12 @@
 #      every attacker shed, zero pinned sessions, bounded p99, and no >10%
 #      defended-p99 regression against the committed BENCH_overload.json;
 #      bench_ablation_faults: no >10% degraded-median regression against
-#      the committed BENCH_faults.json)
+#      the committed BENCH_faults.json;
+#      bench_perf_corpus: streamed/materialized StreamStats equality on the
+#      golden 1k corpus, no >10% streamed sites/sec regression against the
+#      committed BENCH_corpus.json — the CI-sized run (ORIGIN_CORPUS_SITES,
+#      default 50k) gates but never overwrites the committed 1M-site
+#      baseline numbers)
 #
 # Usage: scripts/check.sh [--quick]
 #   --quick   tier-1 + lint + analyze only; skip the sanitizer rebuilds and
@@ -113,10 +118,11 @@ ORIGIN_THREADS=8 ctest --test-dir build-tsan --output-on-failure \
 echo "==> [9/9] perf gates (Release benches, repo-root BENCH_*.json)"
 cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-perf -j "$JOBS" \
-  --target bench_perf_pipeline bench_perf_model \
+  --target bench_perf_pipeline bench_perf_model bench_perf_corpus \
            bench_ablation_overload bench_ablation_faults
 ./build-perf/bench/bench_perf_pipeline
 ./build-perf/bench/bench_perf_model
+./build-perf/bench/bench_perf_corpus
 ./build-perf/bench/bench_ablation_overload
 ./build-perf/bench/bench_ablation_faults
 

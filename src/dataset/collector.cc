@@ -15,6 +15,17 @@ namespace {
 constexpr std::uint64_t kConnectionIdStride = 1ull << 20;
 }  // namespace
 
+browser::LoaderOptions loader_options_for_site(
+    const browser::LoaderOptions& base, std::size_t site_index) {
+  browser::LoaderOptions site_options = base;
+  site_options.seed = origin::util::fnv1a64_mix(
+      base.seed, static_cast<std::uint64_t>(site_index));
+  site_options.first_connection_id =
+      base.first_connection_id +
+      static_cast<std::uint64_t>(site_index) * kConnectionIdStride;
+  return site_options;
+}
+
 std::size_t collect(Corpus& corpus, const CollectOptions& options,
                     const PageSink& sink) {
   // The work list is decided up front from corpus state alone, so it is
@@ -36,13 +47,8 @@ std::size_t collect(Corpus& corpus, const CollectOptions& options,
     loads.assign(count, web::PageLoad{});
     pool.parallel_for_index(count, [&](std::size_t k) {
       const std::size_t site_index = eligible[begin + k];
-      browser::LoaderOptions site_options = options.loader;
-      site_options.seed = origin::util::fnv1a64_mix(
-          options.loader.seed, static_cast<std::uint64_t>(site_index));
-      site_options.first_connection_id =
-          options.loader.first_connection_id +
-          static_cast<std::uint64_t>(site_index) * kConnectionIdStride;
-      browser::PageLoader loader(corpus.env(), site_options);
+      browser::PageLoader loader(
+          corpus.env(), loader_options_for_site(options.loader, site_index));
       loads[k] = loader.load(corpus.page_for_site(site_index));
     });
     for (std::size_t k = 0; k < count; ++k) {

@@ -32,4 +32,12 @@ using PageSink =
 std::size_t collect(Corpus& corpus, const CollectOptions& options,
                     const PageSink& sink);
 
+// Per-site loader configuration: seed mixed from the base seed and the site
+// index, connection ids from a disjoint per-site block. Shared by collect()
+// and the streaming shard loader (dataset/corpus.h) so both produce
+// bit-identical pages for a given site at any thread count and any shard
+// boundary.
+browser::LoaderOptions loader_options_for_site(
+    const browser::LoaderOptions& base, std::size_t site_index);
+
 }  // namespace origin::dataset

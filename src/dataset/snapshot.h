@@ -1,0 +1,101 @@
+// Binary shard-snapshot wire format for columnar page timelines
+// (DESIGN.md §14).
+//
+// A snapshot is one TimelineColumns shard, encoded so that a reader can
+// stream pages back with zero copies of the column payloads: a fixed
+// header, a length-prefixed symbol table, then every column as a
+// (tag, byte-length, payload) record in one canonical order. All header
+// and framing integers are big-endian through util::ByteWriter/ByteReader
+// (the repo's audited bounded codec); column payloads are raw
+// little-endian rows bulk-copied from the arena chunks, guarded by an
+// endianness sentinel in the header.
+//
+// The reader is total in the fuzzing sense: SnapshotReader::open()
+// validates framing, symbol references, enum ranges, flag masks, and
+// row-count cross-sums before returning, never throws, never reads out of
+// bounds (every access goes through the span-bounded ByteReader or a
+// memcpy inside a validated column span), and rejects trailing bytes — so
+// next_page() after a successful open() is infallible, and an accepted
+// snapshot re-encodes to the identical byte string (canonical form).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dataset/corpus.h"
+#include "util/bytes.h"
+#include "util/result.h"
+#include "web/har.h"
+
+namespace origin::dataset {
+
+// Format constants, shared by writer, reader, and the fuzz driver.
+inline constexpr char kSnapshotMagic[4] = {'O', 'C', 'S', '1'};
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint8_t kSnapshotLittleEndianPayload = 1;
+inline constexpr std::size_t kSnapshotMaxSymbolBytes = 4'096;
+inline constexpr std::size_t kSnapshotColumnCount = 30;
+
+// Entry flag bits (the packed bool column). Any bit outside the mask makes
+// a snapshot invalid.
+inline constexpr std::uint8_t kSnapshotFlagSecure = 1u << 0;
+inline constexpr std::uint8_t kSnapshotFlagNewDns = 1u << 1;
+inline constexpr std::uint8_t kSnapshotFlagNewTls = 1u << 2;
+inline constexpr std::uint8_t kSnapshotFlagSpeculative = 1u << 3;
+inline constexpr std::uint8_t kSnapshotFlagStatus421 = 1u << 4;
+inline constexpr std::uint8_t kSnapshotFlagMask = 0x1F;
+
+// Serializes the shard. The byte string is canonical: symbols appear in
+// first-appearance (id) order and columns in fixed tag order, so
+// encode(decode(encode(x))) == encode(x).
+util::Bytes encode_snapshot(const TimelineColumns& columns);
+
+// Streaming decoder over an encoded snapshot. Non-owning: `bytes` must
+// outlive the reader (shard buffers / mapped files stay alive for exactly
+// one shard in the pipeline).
+class SnapshotReader {
+ public:
+  [[nodiscard]] static util::Result<SnapshotReader> open(
+      std::span<const std::uint8_t> bytes);
+
+  const ShardMeta& meta() const { return meta_; }
+
+  // Materializes the next page into `out` (reusing its capacity where the
+  // standard library allows). Returns false once all pages are consumed.
+  bool next_page(web::PageLoad* out);
+  void rewind();
+  std::size_t pages_read() const { return page_cursor_; }
+
+ private:
+  SnapshotReader() = default;
+
+  // Typed access into a validated column span. Index bounds were checked
+  // against meta_ row counts at open(), so these are pure loads.
+  template <typename T>
+  T column(std::size_t tag, std::size_t row) const;
+
+  ShardMeta meta_;
+  std::vector<std::string> symbols_;
+  // One validated payload span per column tag, in tag order.
+  std::vector<std::span<const std::uint8_t>> columns_;
+
+  std::size_t page_cursor_ = 0;
+  std::size_t entry_cursor_ = 0;
+  std::size_t answer_cursor_ = 0;
+};
+
+// Shard file IO. Paths name regular files inside the pipeline's spill
+// directory; both are total (errors come back as Status/Result, never
+// exceptions).
+[[nodiscard]] util::Status write_shard_file(
+    const std::string& path, std::span<const std::uint8_t> bytes);
+[[nodiscard]] util::Result<util::Bytes> read_shard_file(
+    const std::string& path);
+[[nodiscard]] util::Status remove_shard_file(const std::string& path);
+
+// Shard path naming: <dir>/shard_<index 6 digits>.ocs
+std::string shard_file_path(const std::string& dir, std::size_t index);
+
+}  // namespace origin::dataset

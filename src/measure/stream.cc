@@ -1,0 +1,26 @@
+#include "measure/stream.h"
+
+namespace origin::measure {
+
+void PassiveShardObserver::on_shard(const std::vector<web::PageLoad>& pages,
+                                    std::size_t first_ordinal) {
+  observations_.assign(pages.size(), PassivePipeline::Observation{});
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    observations_[i].load = &pages[i];
+    observations_[i].treatment = treatment_for_ordinal(first_ordinal + i);
+    observations_[i].day = day_for_ordinal(first_ordinal + i);
+  }
+  pipeline_.observe_batch(observations_, domain_, threads_);
+}
+
+PassiveStreamStats PassiveShardObserver::stats() const {
+  PassiveStreamStats stats;
+  stats.sampled = pipeline_.sampled_records();
+  stats.control_connections = pipeline_.new_connections(Treatment::kControl);
+  stats.experiment_connections =
+      pipeline_.new_connections(Treatment::kExperiment);
+  stats.reduction_vs_control = pipeline_.reduction_vs_control();
+  return stats;
+}
+
+}  // namespace origin::measure

@@ -1,0 +1,63 @@
+// Passive-pipeline adapter for the streamed corpus replay (paper §5.2 over
+// DESIGN.md §14's out-of-core pipeline).
+//
+// dataset::StreamingCorpus knows nothing about measurement; it exposes a
+// ShardObserver hook called serially in site order. This adapter feeds
+// each decoded shard into a PassivePipeline with the paper's Referer-based
+// treatment split, attributing treatment and observation day as pure
+// functions of the page's eligible-site ordinal — so the streamed and
+// materialized paths (and every thread count and shard size) observe
+// byte-identical record streams.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataset/corpus.h"
+#include "measure/passive.h"
+#include "web/har.h"
+
+namespace origin::measure {
+
+// §5.2 attribution: pure functions of the eligible-site ordinal.
+inline Treatment treatment_for_ordinal(std::size_t ordinal) {
+  return ordinal % 2 == 0 ? Treatment::kControl : Treatment::kExperiment;
+}
+inline std::uint64_t day_for_ordinal(std::size_t ordinal) {
+  return ordinal % 7;
+}
+
+// Headline aggregates of one streamed passive replay.
+struct PassiveStreamStats {
+  std::uint64_t sampled = 0;
+  std::uint64_t control_connections = 0;
+  std::uint64_t experiment_connections = 0;
+  double reduction_vs_control = 0.0;
+};
+
+// Plugs the passive pipeline into dataset::StreamingOptions::observer (or
+// run_materialized, which reports the whole corpus as one shard — the
+// record stream is identical either way).
+class PassiveShardObserver : public dataset::ShardObserver {
+ public:
+  PassiveShardObserver(std::string domain, double sample_rate = 0.01,
+                       std::uint64_t seed = 0xCD4, std::size_t threads = 1)
+      : domain_(std::move(domain)),
+        threads_(threads),
+        pipeline_(sample_rate, seed) {}
+
+  void on_shard(const std::vector<web::PageLoad>& pages,
+                std::size_t first_ordinal) override;
+
+  const PassivePipeline& pipeline() const { return pipeline_; }
+  PassiveStreamStats stats() const;
+
+ private:
+  std::string domain_;
+  std::size_t threads_;
+  PassivePipeline pipeline_;
+  std::vector<PassivePipeline::Observation> observations_;  // reused
+};
+
+}  // namespace origin::measure

@@ -33,6 +33,11 @@ void ByteWriter::raw(std::string_view s) {
   buf_.insert(buf_.end(), s.begin(), s.end());
 }
 
+void ByteWriter::raw(const void* data, std::size_t n) {
+  const std::uint8_t* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
 void ByteWriter::patch_u24(std::size_t offset, std::uint32_t v) {
   buf_.at(offset) = static_cast<std::uint8_t>(v >> 16);
   buf_.at(offset + 1) = static_cast<std::uint8_t>(v >> 8);

@@ -28,6 +28,10 @@ class ByteWriter {
   void u64(std::uint64_t v);
   void raw(std::span<const std::uint8_t> bytes);
   void raw(std::string_view s);
+  // Appends n raw bytes from untyped memory — the bulk column-payload path
+  // of the corpus snapshot writer, which serializes typed arena chunks
+  // without a per-element cast.
+  void raw(const void* data, std::size_t n);
 
   // Overwrites previously written bytes (e.g. to back-patch a length field).
   void patch_u24(std::size_t offset, std::uint32_t v);

@@ -9,8 +9,11 @@
 
 #include <cmath>
 #include <limits>
+#include <span>
 #include <string>
 
+#include "dataset/corpus.h"
+#include "dataset/snapshot.h"
 #include "h2/frame.h"
 #include "hpack/hpack.h"
 #include "netsim/faults.h"
@@ -464,6 +467,79 @@ TEST(FuzzRegressionServerSession, DrainMidRequestClosesClean) {
   EXPECT_EQ(result.stats.close_reasons.count("drain: complete"), 1u);
   EXPECT_EQ(result.client_close, "drain: complete");
   EXPECT_EQ(result.live_after, 0u);
+}
+
+// --- corpus shard snapshots ----------------------------------------------
+
+// Smallest well-formed snapshot: an empty shard (header + empty symbol
+// table + 30 zero-length column records). All corruption cases below mirror
+// corpus_snapshot/ seeds byte for byte.
+Bytes empty_shard_snapshot() {
+  origin::dataset::TimelineColumns columns;
+  columns.set_identity(3, 42, 4096);
+  return origin::dataset::encode_snapshot(columns);
+}
+
+origin::util::Result<origin::dataset::SnapshotReader> open_snapshot(
+    const Bytes& bytes) {
+  return origin::dataset::SnapshotReader::open(
+      std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+}
+
+TEST(FuzzRegressionCorpusSnapshot, EmptyShardAcceptedWithZeroPages) {
+  // corpus: corpus_snapshot/empty_shard.ocs
+  auto reader = open_snapshot(empty_shard_snapshot());
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value().meta().shard_index, 3u);
+  EXPECT_EQ(reader.value().meta().corpus_seed, 42u);
+  EXPECT_EQ(reader.value().meta().first_site, 4096u);
+  EXPECT_EQ(reader.value().meta().pages, 0u);
+  origin::web::PageLoad load;
+  EXPECT_FALSE(reader.value().next_page(&load));
+}
+
+TEST(FuzzRegressionCorpusSnapshot, TruncationAnywhereRejected) {
+  // corpus: corpus_snapshot/truncated.ocs — a prefix cut mid-column; here
+  // every proper prefix must be rejected, never crash.
+  const Bytes snapshot = empty_shard_snapshot();
+  for (std::size_t keep = 0; keep < snapshot.size(); ++keep) {
+    Bytes prefix(snapshot.begin(),
+                 snapshot.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_FALSE(open_snapshot(prefix).ok()) << "prefix length " << keep;
+  }
+}
+
+TEST(FuzzRegressionCorpusSnapshot, BadMagicRejected) {
+  // corpus: corpus_snapshot/bad_magic.ocs
+  Bytes snapshot = empty_shard_snapshot();
+  snapshot[0] ^= 0xFF;
+  EXPECT_FALSE(open_snapshot(snapshot).ok());
+}
+
+TEST(FuzzRegressionCorpusSnapshot, HugeRowCountRejected) {
+  // corpus: corpus_snapshot/huge_counts.ocs — the pages field (header
+  // offset 33) forced to ~2^64 must fail the row cap / cross-sum checks,
+  // not drive a huge allocation.
+  Bytes snapshot = empty_shard_snapshot();
+  for (std::size_t i = 33; i < 41; ++i) snapshot[i] = 0xFF;
+  EXPECT_FALSE(open_snapshot(snapshot).ok());
+}
+
+TEST(FuzzRegressionCorpusSnapshot, BigEndianSentinelRejected) {
+  // corpus: corpus_snapshot/bad_endian.ocs — column payloads are declared
+  // little-endian; a sentinel of 2 (big-endian writer) must be rejected
+  // rather than silently byte-swapped.
+  Bytes snapshot = empty_shard_snapshot();
+  snapshot[8] = 2;
+  EXPECT_FALSE(open_snapshot(snapshot).ok());
+}
+
+TEST(FuzzRegressionCorpusSnapshot, TrailingByteRejected) {
+  // corpus: corpus_snapshot/trailing_byte.ocs — canonical form admits no
+  // suffix; one extra byte after the last column record is an error.
+  Bytes snapshot = empty_shard_snapshot();
+  snapshot.push_back(0);
+  EXPECT_FALSE(open_snapshot(snapshot).ok());
 }
 
 }  // namespace
