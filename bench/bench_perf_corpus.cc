@@ -32,6 +32,7 @@
 
 #include "bench_common.h"
 #include "dataset/corpus.h"
+#include "util/hash.h"
 #include "util/json.h"
 
 namespace {
@@ -265,6 +266,21 @@ int main(int argc, char** argv) {
         digest, sizeof(digest), "%016llx",
         static_cast<unsigned long long>(streamed->reconstructed_digest));
     leg["reconstructed_digest"] = digest;
+    // Per-shard CRC-64/XZ content digests (the values the OCM1 manifest
+    // journals and resume verifies), plus a chained digest over all of
+    // them — one line to diff when any shard's bytes move.
+    util::Json::Array shard_crcs;
+    std::uint64_t crc_chain = 0;
+    for (const auto& shard : streaming.shards()) {
+      std::snprintf(digest, sizeof(digest), "%016llx",
+                    static_cast<unsigned long long>(shard.content_crc64));
+      shard_crcs.push_back(util::Json(std::string(digest)));
+      crc_chain = util::crc64(std::string_view(digest), crc_chain);
+    }
+    leg["shard_content_crc64"] = util::Json(std::move(shard_crcs));
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(crc_chain));
+    leg["shard_crc_chain"] = digest;
     doc["streamed"] = util::Json(std::move(leg));
   }
   {

@@ -1,0 +1,74 @@
+// Fuzz driver: OCM1 run-manifest journal reader (src/dataset/manifest.cc).
+//
+// The manifest is the crash-recovery source of truth (DESIGN.md §15): a
+// resumed run trusts whatever read_manifest() returns, so the reader must
+// be total on arbitrary bytes — a corrupt journal may only ever shrink the
+// set of reusable shards, never crash, over-read, or invent records.
+//
+// Properties exercised on every input:
+//   1. Totality — read_manifest never crashes or throws; malformed bytes
+//      surface as a util::Result error (bad header) or a shorter record
+//      list with the torn tail counted.
+//   2. Tail accounting — accepted journals report exactly the bytes they
+//      refused to parse: header + records + dropped tail == input size.
+//   3. Re-encode round trip — re-encoding the accepted header and records
+//      yields a journal that parses back byte-identically with zero
+//      dropped tail (the reader's accepted prefix is itself well-formed).
+//   4. Last-wins — latest_records() maps each shard index to the final
+//      record for it, and never holds more entries than records parsed.
+#include <cstdint>
+#include <span>
+
+#include "dataset/manifest.h"
+#include "util/bytes.h"
+#include "util/check.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Journals are bounded by shard counts in practice; cap fuzz work.
+  if (size > (1u << 20)) return 0;
+
+  auto parsed = origin::dataset::read_manifest(
+      std::span<const std::uint8_t>(data, size));
+  if (!parsed.ok()) return 0;
+
+  const auto& manifest = parsed.value();
+  const std::size_t accounted =
+      origin::dataset::kManifestHeaderBytes +
+      manifest.records.size() * origin::dataset::kManifestRecordBytes +
+      static_cast<std::size_t>(manifest.tail_bytes_dropped);
+  ORIGIN_CHECK(accounted == size,
+               "manifest fuzz: header + records + dropped tail != input");
+
+  const auto latest = manifest.latest_records();
+  ORIGIN_CHECK(latest.size() <= manifest.records.size(),
+               "manifest fuzz: more latest records than parsed records");
+  for (const auto& record : manifest.records) {
+    ORIGIN_CHECK(latest.find(record.shard_index) != nullptr,
+                 "manifest fuzz: parsed shard index missing from latest map");
+  }
+
+  // Re-encode the accepted prefix; it must parse back identically with no
+  // dropped tail.
+  origin::util::Bytes canonical =
+      origin::dataset::encode_manifest_header(manifest.header);
+  for (const auto& record : manifest.records) {
+    const origin::util::Bytes encoded =
+        origin::dataset::encode_manifest_record(record);
+    canonical.insert(canonical.end(), encoded.begin(), encoded.end());
+  }
+  auto reparsed = origin::dataset::read_manifest(
+      std::span<const std::uint8_t>(canonical.data(), canonical.size()));
+  ORIGIN_CHECK(reparsed.ok(), "manifest fuzz: re-encoded journal rejected");
+  ORIGIN_CHECK(reparsed.value().header == manifest.header,
+               "manifest fuzz: header changed across re-encode");
+  ORIGIN_CHECK(reparsed.value().records.size() == manifest.records.size(),
+               "manifest fuzz: record count changed across re-encode");
+  ORIGIN_CHECK(reparsed.value().tail_bytes_dropped == 0,
+               "manifest fuzz: canonical journal dropped a tail");
+  for (std::size_t i = 0; i < manifest.records.size(); ++i) {
+    ORIGIN_CHECK(reparsed.value().records[i] == manifest.records[i],
+                 "manifest fuzz: record changed across re-encode");
+  }
+  return 0;
+}

@@ -25,12 +25,18 @@
 #      every shed path (rapid-reset, header bomb, PING/SETTINGS floods,
 #      slowloris reaping, admission refusal, drain) runs with the
 #      allocator instrumented under each mix
-#   7. UBSan preset build + full ctest
-#   8. TSan preset build + the concurrency suites (thread pool stress +
+#   7. kill–resume matrix: the crash-consistency suites (durable-file
+#      commit windows, OCM1 manifest totality, the in-process kill–resume
+#      matrix over every ORIGIN_CRASH_AT point class at 1 and 8 threads)
+#      replayed under the ASan build, so every recovery path (torn-temp
+#      sweep, journal tail truncation, quarantine + rebuild) runs with the
+#      allocator instrumented
+#   8. UBSan preset build + full ctest
+#   9. TSan preset build + the concurrency suites (thread pool stress +
 #      pipeline determinism + fault-schedule determinism + the overload
 #      ledger 1-vs-8-thread determinism checks) with ORIGIN_THREADS=8, so
 #      every shard path runs contended under the race detector
-#   9. perf: Release build of the perf + ablation benches; each emits its
+#  10. perf: Release build of the perf + ablation benches; each emits its
 #      BENCH_*.json at the repo root and exits non-zero when a gate fails
 #      (bench_perf_model: fused replay >= 3x the string-keyed baseline and
 #      no >10% regression against the committed BENCH_model.json;
@@ -40,10 +46,16 @@
 #      bench_ablation_faults: no >10% degraded-median regression against
 #      the committed BENCH_faults.json;
 #      bench_perf_corpus: streamed/materialized StreamStats equality on the
-#      golden 1k corpus, no >10% streamed sites/sec regression against the
-#      committed BENCH_corpus.json — the CI-sized run (ORIGIN_CORPUS_SITES,
-#      default 50k) gates but never overwrites the committed 1M-site
-#      baseline numbers)
+#      golden 1k corpus, per-shard content CRCs, no >10% streamed sites/sec
+#      regression against the committed BENCH_corpus.json — the CI-sized
+#      run (ORIGIN_CORPUS_SITES, default 50k) gates but never overwrites
+#      the committed 1M-site baseline numbers;
+#      bench_ablation_crash: the process-level kill–resume chaos matrix —
+#      a child is hard-killed (ORIGIN_CRASH_AT) at every crash-point class
+#      and resumed; every resume must be digest-identical to the
+#      uninterrupted baseline, a flipped shard byte must quarantine +
+#      rebuild, and the worst-case recovery overhead must not regress more
+#      than 10 points over the committed BENCH_crash.json)
 #
 # Usage: scripts/check.sh [--quick]
 #   --quick   tier-1 + lint + analyze only; skip the sanitizer rebuilds and
@@ -62,17 +74,17 @@ run_suite() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
-echo "==> [1/9] tier-1 build + ctest (lint + analyze + fuzz replays included)"
+echo "==> [1/10] tier-1 build + ctest (lint + analyze + fuzz replays included)"
 run_suite build
 
-echo "==> [2/9] origin_analyze contract gate (full src/ tree, drift-checked)"
+echo "==> [2/10] origin_analyze contract gate (full src/ tree, drift-checked)"
 ./build/tools/analyze/origin_analyze --root=. \
   --waivers=tools/analyze/waivers.txt \
   --baseline=analyze_findings.json \
   --json=analyze_findings.json src
 echo "findings artifact: analyze_findings.json (commit to accept new waivers)"
 
-echo "==> [3/9] clang-tidy (parser directories)"
+echo "==> [3/10] clang-tidy (parser directories)"
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   git ls-files 'src/h2/*.cc' 'src/hpack/*.cc' 'src/web/*.cc' 'src/util/*.cc' |
@@ -86,17 +98,17 @@ if [[ "$QUICK" == "1" ]]; then
   exit 0
 fi
 
-echo "==> [4/9] AddressSanitizer preset"
+echo "==> [4/10] AddressSanitizer preset"
 run_suite build-asan -DORIGIN_SANITIZE=address
 
-echo "==> [5/9] fault matrix (wire suites at 0/5/20% injected faults, ASan)"
+echo "==> [5/10] fault matrix (wire suites at 0/5/20% injected faults, ASan)"
 for rate in 0 0.05 0.20; do
   echo "--- ORIGIN_FAULT_RATE=$rate"
   ORIGIN_FAULT_RATE="$rate" ctest --test-dir build-asan --output-on-failure \
     -j "$JOBS" -R 'FaultInjection|FaultDeterminism|KillSwitch|WireClient|Http2Server|Middleboxes'
 done
 
-echo "==> [6/9] overload abuse matrix (ORIGIN_ABUSE_MIX sweep, ASan)"
+echo "==> [6/10] overload abuse matrix (ORIGIN_ABUSE_MIX sweep, ASan)"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
   -R 'Overload|Admission'
 for mix in 'rapid_reset=6' 'slowloris=4' \
@@ -106,24 +118,30 @@ for mix in 'rapid_reset=6' 'slowloris=4' \
     -R 'Overload.EnvAbuseMatrixShedsEveryAttackerAndServesTheRest'
 done
 
-echo "==> [7/9] UndefinedBehaviorSanitizer preset"
+echo "==> [7/10] kill–resume matrix (crash-consistency suites, ASan)"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+  -R 'CrashResume|DurableFile|Manifest|FuzzRegressionManifest|fuzz_manifest_replay'
+
+echo "==> [8/10] UndefinedBehaviorSanitizer preset"
 run_suite build-ubsan -DORIGIN_SANITIZE=undefined
 
-echo "==> [8/9] ThreadSanitizer preset (concurrency suites, 8 threads)"
+echo "==> [9/10] ThreadSanitizer preset (concurrency suites, 8 threads)"
 cmake -B build-tsan -S . -DORIGIN_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS"
 ORIGIN_THREADS=8 ctest --test-dir build-tsan --output-on-failure \
   -R 'ThreadPool|PipelineDeterminism|FaultDeterminism|BitIdenticalAcrossThreadCounts'
 
-echo "==> [9/9] perf gates (Release benches, repo-root BENCH_*.json)"
+echo "==> [10/10] perf gates (Release benches, repo-root BENCH_*.json)"
 cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build-perf -j "$JOBS" \
   --target bench_perf_pipeline bench_perf_model bench_perf_corpus \
-           bench_ablation_overload bench_ablation_faults
+           bench_ablation_overload bench_ablation_faults \
+           bench_ablation_crash
 ./build-perf/bench/bench_perf_pipeline
 ./build-perf/bench/bench_perf_model
 ./build-perf/bench/bench_perf_corpus
 ./build-perf/bench/bench_ablation_overload
 ./build-perf/bench/bench_ablation_faults
+./build-perf/bench/bench_ablation_crash
 
 echo "==> all checks passed"

@@ -20,6 +20,16 @@
 // model's serial intern prepass per batch, and shard observers run
 // serially in site order — so streamed outputs are byte-identical to the
 // fully materialized path at any thread count and any shard size.
+//
+// Crash consistency (DESIGN.md §15): with a spill directory the pipeline
+// is resumable. Every spilled shard is committed by durable rename
+// (util/durable_file.h) and then journaled in an OCM1 manifest
+// (dataset/manifest.h) keyed by a digest of the run configuration. A
+// restarted run with StreamingOptions::resume (or ORIGIN_RESUME=1) sweeps
+// torn temps, replays the journal, reuses every recorded shard whose file
+// checks out, regenerates the rest from their site ranges, and produces
+// StreamStats bit-identical to an uninterrupted run — recovery bookkeeping
+// lives in the separate RecoveryStats so the golden digests stay equal.
 #pragma once
 
 #include <cstdint>
@@ -30,10 +40,13 @@
 
 #include "browser/page_loader.h"
 #include "dataset/generator.h"
+#include "dataset/manifest.h"
 #include "util/arena.h"
 #include "util/bytes.h"
+#include "util/durable_file.h"
 #include "util/flat_map.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 #include "web/har.h"
 
 namespace origin::dataset {
@@ -142,6 +155,10 @@ class ShardObserver {
   // is the eligible-site ordinal of pages[0].
   virtual void on_shard(const std::vector<web::PageLoad>& pages,
                         std::size_t first_ordinal) = 0;
+  // Called at the start of every analyze() sweep, before any on_shard().
+  // Stateful observers must reset here so a crashed-and-resumed analyze
+  // (which restarts the sweep from shard 0) observes exactly one stream.
+  virtual void on_stream_restart() {}
 };
 
 struct StreamingOptions {
@@ -159,6 +176,11 @@ struct StreamingOptions {
   std::string spill_dir;
   // Leave spilled shard files on disk after analyze() consumes them.
   bool keep_shards = false;
+  // Resume from the spill directory's OCM1 manifest if one is present and
+  // its config digest matches this run (ORIGIN_RESUME=1 sets this too).
+  // Without resume a stale manifest and its shards are swept and the run
+  // starts fresh; either way the outputs are bit-identical.
+  bool resume = false;
   browser::LoaderOptions loader;
   // Optional per-shard hook (not owned); see ShardObserver.
   ShardObserver* observer = nullptr;
@@ -170,8 +192,23 @@ struct ShardInfo {
   std::size_t pages = 0;
   std::size_t entries = 0;
   std::size_t encoded_bytes = 0;
+  std::uint64_t content_crc64 = 0;  // CRC-64/XZ of the encoded snapshot
   std::string path;    // spill file; empty when held in memory
   util::Bytes buffer;  // encoded snapshot; empty when spilled
+};
+
+// What recovery did on this run. Deliberately NOT part of StreamStats: a
+// resumed run must produce bit-identical StreamStats to an uninterrupted
+// one, while these counters describe the (run-specific) path taken there.
+struct RecoveryStats {
+  std::size_t stale_temps_swept = 0;      // torn `.tmp` files deleted
+  std::size_t stale_shards_removed = 0;   // unrecorded/foreign shard files
+  std::size_t manifest_records_replayed = 0;
+  std::uint64_t manifest_tail_bytes_dropped = 0;  // torn journal tail
+  std::size_t manifest_resets = 0;   // journal rejected (config/corruption)
+  std::size_t shards_reused = 0;     // journaled shards skipped, not rebuilt
+  std::size_t shards_regenerated = 0;  // journaled but rebuilt (bad file)
+  std::size_t shards_quarantined = 0;  // corrupt files moved aside
 };
 
 // Aggregates of one full generate → analyze → reconstruct sweep. The two
@@ -219,15 +256,41 @@ class StreamingCorpus {
 
   const std::vector<ShardInfo>& shards() const { return shards_; }
   std::size_t eligible_sites() const { return eligible_.size(); }
+  const RecoveryStats& recovery() const { return recovery_; }
+  // Digest of everything that must match for a manifest to be resumable:
+  // corpus seed, eligible-site count, resolved shard plan, loader config.
+  // Thread count is deliberately excluded — resuming at a different thread
+  // count is valid and bit-identical (DESIGN.md §8).
+  std::uint64_t config_digest() const;
 
  private:
   void build_eligible();
+  std::size_t resolved_per_shard() const;
+  std::size_t shard_site_count(std::size_t first_site) const;
+  // Sweeps temps/stale shards, replays or resets the manifest journal, and
+  // fills `completed` with the last-wins reusable records.
+  [[nodiscard]] util::Status prepare_spill_dir(
+      util::FlatMap<std::uint64_t, ManifestRecord>* completed);
+  // Loads the shard's site range, encodes it, and fills info's row totals
+  // and content CRC. Returns the encoded snapshot.
+  [[nodiscard]] util::Result<util::Bytes> build_shard(
+      ShardInfo& info, util::ThreadPool& pool);
+  // Durably writes the shard file, then journals it (write ordering:
+  // rename commits the data, the manifest record commits the fact).
+  [[nodiscard]] util::Status commit_shard(ShardInfo& info,
+                                          std::span<const std::uint8_t> bytes);
+  // Reads a spilled shard, verifying its journaled CRC; on mismatch moves
+  // the bytes to quarantine and rebuilds the shard from its site range.
+  [[nodiscard]] util::Result<util::Bytes> load_or_recover_shard(
+      ShardInfo& shard, util::ThreadPool& pool);
 
   Corpus& corpus_;
   StreamingOptions options_;
   std::vector<std::size_t> eligible_;  // site indices, crawl-succeeded only
   std::vector<ShardInfo> shards_;
   TimelineColumns columns_;  // reused across shards (arena recycling)
+  util::DurableLog manifest_log_;
+  RecoveryStats recovery_;
   bool generated_ = false;
 };
 

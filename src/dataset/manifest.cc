@@ -1,0 +1,106 @@
+#include "dataset/manifest.h"
+
+#include "util/hash.h"
+
+namespace origin::dataset {
+
+namespace {
+
+util::Error manifest_error(const std::string& what) {
+  return util::make_error("manifest: " + what);
+}
+
+}  // namespace
+
+util::FlatMap<std::uint64_t, ManifestRecord> Manifest::latest_records() const {
+  util::FlatMap<std::uint64_t, ManifestRecord> latest;
+  for (const auto& record : records) latest[record.shard_index] = record;
+  return latest;
+}
+
+util::Bytes encode_manifest_header(const ManifestHeader& header) {
+  util::ByteWriter writer(kManifestHeaderBytes);
+  writer.raw(std::string_view(kManifestMagic, sizeof(kManifestMagic)));
+  writer.u32(kManifestVersion);
+  writer.u64(header.config_digest);
+  writer.u64(header.corpus_seed);
+  writer.u64(header.eligible_sites);
+  writer.u64(header.sites_per_shard);
+  writer.u64(header.shard_total);
+  writer.u64(util::crc64(writer.bytes()));
+  return writer.take();
+}
+
+util::Bytes encode_manifest_record(const ManifestRecord& record) {
+  util::ByteWriter writer(kManifestRecordBytes);
+  writer.u8(kManifestRecordShard);
+  writer.u64(record.shard_index);
+  writer.u64(record.first_site);
+  writer.u64(record.pages);
+  writer.u64(record.entries);
+  writer.u64(record.encoded_bytes);
+  writer.u64(record.content_crc64);
+  writer.u64(util::crc64(writer.bytes()));
+  return writer.take();
+}
+
+util::Result<Manifest> read_manifest(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kManifestHeaderBytes) {
+    return manifest_error("truncated header");
+  }
+  const auto header_bytes = bytes.first(kManifestHeaderBytes);
+  const auto header_body = header_bytes.first(kManifestHeaderBytes - 8);
+  util::ByteReader reader(header_bytes);
+  const auto magic = reader.raw(sizeof(kManifestMagic));
+  if (util::as_string_view(magic) !=
+      std::string_view(kManifestMagic, sizeof(kManifestMagic))) {
+    return manifest_error("bad magic");
+  }
+  const std::uint32_t version = reader.u32();
+  if (version != kManifestVersion) {
+    return manifest_error("unsupported version " + std::to_string(version));
+  }
+  Manifest manifest;
+  manifest.header.config_digest = reader.u64();
+  manifest.header.corpus_seed = reader.u64();
+  manifest.header.eligible_sites = reader.u64();
+  manifest.header.sites_per_shard = reader.u64();
+  manifest.header.shard_total = reader.u64();
+  const std::uint64_t header_crc = reader.u64();
+  if (!reader.ok()) return manifest_error("truncated header");
+  if (header_crc != util::crc64(header_body)) {
+    return manifest_error("header checksum mismatch");
+  }
+
+  // Records: fixed-size frames; the first frame that is short or fails its
+  // CRC ends the journal. Everything after it is the torn tail a crash
+  // leaves behind — dropped and counted, never parsed.
+  auto tail = bytes.subspan(kManifestHeaderBytes);
+  while (tail.size() >= kManifestRecordBytes) {
+    const auto frame = tail.first(kManifestRecordBytes);
+    util::ByteReader record_reader(frame);
+    const std::uint8_t kind = record_reader.u8();
+    ManifestRecord record;
+    record.shard_index = record_reader.u64();
+    record.first_site = record_reader.u64();
+    record.pages = record_reader.u64();
+    record.entries = record_reader.u64();
+    record.encoded_bytes = record_reader.u64();
+    record.content_crc64 = record_reader.u64();
+    const std::uint64_t record_crc = record_reader.u64();
+    if (kind != kManifestRecordShard ||
+        record_crc != util::crc64(frame.first(kManifestRecordBytes - 8))) {
+      break;
+    }
+    manifest.records.push_back(record);
+    tail = tail.subspan(kManifestRecordBytes);
+  }
+  manifest.tail_bytes_dropped = tail.size();
+  return manifest;
+}
+
+std::string manifest_file_path(const std::string& dir) {
+  return dir + "/manifest.ocm";
+}
+
+}  // namespace origin::dataset

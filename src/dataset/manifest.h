@@ -1,0 +1,94 @@
+// OCM1 run-manifest journal for the streaming corpus (DESIGN.md §15).
+//
+// The manifest is the pipeline's commit log: an append-only file in the
+// spill directory recording (a) a digest of the run configuration and the
+// shard plan, and (b) one fixed-size record per durably committed shard —
+// its identity, row totals, byte size, and the CRC-64/XZ of its on-disk
+// bytes. The write ordering is shard-file rename first, manifest append
+// second, so a record's existence implies the shard file it describes was
+// fully committed; a crash between the two merely loses the record, and
+// the resume path regenerates that shard (cheap) rather than trusting an
+// unrecorded file (unsound).
+//
+// Wire format (all integers big-endian through util::ByteWriter/ByteReader):
+//
+//   header  "OCM1" | u32 version | u64 config_digest | u64 corpus_seed
+//           | u64 eligible_sites | u64 sites_per_shard | u64 shard_total
+//           | u64 crc64(previous header bytes)
+//   record  u8 kind (1 = shard committed) | u64 shard_index | u64 first_site
+//           | u64 pages | u64 entries | u64 encoded_bytes
+//           | u64 content_crc64 | u64 crc64(previous record bytes)
+//
+// The reader is total in the PR 1 sense (fuzz/fuzz_manifest.cc): arbitrary
+// bytes never crash it; a bad header is an error; a record tail that fails
+// its CRC — the torn final append a crash leaves — is dropped and counted,
+// not an error. Duplicate shard records are legal journal semantics (a
+// quarantined shard regenerated during analyze re-appends its record);
+// latest_records() resolves them last-record-wins.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/flat_map.h"
+#include "util/result.h"
+
+namespace origin::dataset {
+
+inline constexpr char kManifestMagic[4] = {'O', 'C', 'M', '1'};
+inline constexpr std::uint32_t kManifestVersion = 1;
+inline constexpr std::uint8_t kManifestRecordShard = 1;
+// 4 + 4 + 5*8 + 8 = 56 header bytes; 1 + 6*8 + 8 = 57 record bytes.
+inline constexpr std::size_t kManifestHeaderBytes = 56;
+inline constexpr std::size_t kManifestRecordBytes = 57;
+
+struct ManifestHeader {
+  std::uint64_t config_digest = 0;
+  std::uint64_t corpus_seed = 0;
+  std::uint64_t eligible_sites = 0;
+  std::uint64_t sites_per_shard = 0;
+  std::uint64_t shard_total = 0;
+
+  bool operator==(const ManifestHeader&) const = default;
+};
+
+struct ManifestRecord {
+  std::uint64_t shard_index = 0;
+  std::uint64_t first_site = 0;
+  std::uint64_t pages = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t encoded_bytes = 0;
+  std::uint64_t content_crc64 = 0;
+
+  bool operator==(const ManifestRecord&) const = default;
+};
+
+// A decoded manifest: the header plus every record whose CRC verified, in
+// append order (duplicates preserved), plus how many torn/garbage tail
+// bytes were dropped after the last valid record.
+struct Manifest {
+  ManifestHeader header;
+  std::vector<ManifestRecord> records;
+  std::uint64_t tail_bytes_dropped = 0;
+
+  // Last-record-wins view of the journal, keyed by shard index.
+  util::FlatMap<std::uint64_t, ManifestRecord> latest_records() const;
+};
+
+// Serializers; append one encoded record to the journal via
+// util::DurableLog so each append is fsynced before the pipeline moves on.
+util::Bytes encode_manifest_header(const ManifestHeader& header);
+util::Bytes encode_manifest_record(const ManifestRecord& record);
+
+// Total reader. Errors only on a missing/corrupt header (a journal with no
+// trustworthy identity); torn record tails are dropped and counted.
+[[nodiscard]] util::Result<Manifest> read_manifest(
+    std::span<const std::uint8_t> bytes);
+
+// Journal path naming: <dir>/manifest.ocm
+std::string manifest_file_path(const std::string& dir);
+
+}  // namespace origin::dataset

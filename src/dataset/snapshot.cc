@@ -3,8 +3,9 @@
 #include <bit>
 #include <cstdio>
 #include <cstring>
-#include <filesystem>
 
+#include "util/durable_file.h"
+#include "util/hash.h"
 #include "util/hot_path.h"
 #include "web/resource.h"
 
@@ -151,7 +152,8 @@ util::Bytes encode_snapshot(const TimelineColumns& columns) {
   util::ByteWriter writer(64 + static_cast<std::size_t>(meta.symbols) * 24 +
                           static_cast<std::size_t>(meta.entries) * 128 +
                           static_cast<std::size_t>(meta.answers) * 9 +
-                          static_cast<std::size_t>(meta.pages) * 33 + 512);
+                          static_cast<std::size_t>(meta.pages) * 33 + 512 +
+                          kSnapshotFooterBytes);
   writer.raw(std::string_view(kSnapshotMagic, sizeof(kSnapshotMagic)));
   writer.u32(kSnapshotVersion);
   writer.u8(std::endian::native == std::endian::little
@@ -199,6 +201,12 @@ util::Bytes encode_snapshot(const TimelineColumns& columns) {
   write_column(writer, kPageEntryCount, columns.page_entry_count_);
   write_column(writer, kPageExtraDns, columns.page_extra_dns_);
   write_column(writer, kPageExtraTls, columns.page_extra_tls_);
+  // Integrity footer: CRC-64/XZ over every byte written so far. Appended
+  // last so the file's own tail proves the whole payload intact.
+  const std::uint64_t crc = util::crc64(writer.bytes());
+  writer.raw(std::string_view(kSnapshotFooterMagic,
+                              sizeof(kSnapshotFooterMagic)));
+  writer.u64(crc);
   return writer.take();
 }
 
@@ -207,7 +215,25 @@ util::Result<SnapshotReader> SnapshotReader::open(
   if (std::endian::native != std::endian::little) {
     return snapshot_error("big-endian hosts are not supported");
   }
-  util::ByteReader reader(bytes);
+  // Integrity first: the CRC footer is verified before a single header
+  // byte is interpreted, so a torn or bit-flipped shard is rejected as
+  // corrupt up front — its contents are never read as data.
+  if (bytes.size() < kSnapshotFooterBytes) {
+    return snapshot_error("missing footer");
+  }
+  const std::span<const std::uint8_t> payload =
+      bytes.first(bytes.size() - kSnapshotFooterBytes);
+  const std::span<const std::uint8_t> footer =
+      bytes.last(kSnapshotFooterBytes);
+  if (std::memcmp(footer.data(), kSnapshotFooterMagic,
+                  sizeof(kSnapshotFooterMagic)) != 0) {
+    return snapshot_error("bad footer magic (torn or trailing bytes)");
+  }
+  util::ByteReader footer_reader(footer.subspan(sizeof(kSnapshotFooterMagic)));
+  if (footer_reader.u64() != util::crc64(payload)) {
+    return snapshot_error("checksum mismatch (torn or corrupt shard)");
+  }
+  util::ByteReader reader(payload);
   const auto magic = reader.raw(sizeof(kSnapshotMagic));
   if (!reader.ok() ||
       std::memcmp(magic.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) !=
@@ -389,60 +415,29 @@ void SnapshotReader::rewind() {
 
 util::Status write_shard_file(const std::string& path,
                               std::span<const std::uint8_t> bytes) {
-  const std::filesystem::path fs_path(path);
-  if (fs_path.has_parent_path()) {
-    std::error_code ec;
-    std::filesystem::create_directories(fs_path.parent_path(), ec);
-    if (ec) {
-      return util::make_error("snapshot: cannot create spill directory " +
-                              fs_path.parent_path().string() + ": " +
-                              ec.message());
-    }
-  }
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) {
-    return util::make_error("snapshot: cannot open " + path + " for write");
-  }
-  const std::size_t written =
-      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), file);
-  const bool closed = std::fclose(file) == 0;
-  if (written != bytes.size() || !closed) {
-    return util::make_error("snapshot: short write to " + path);
-  }
-  return util::Status::ok_status();
+  // Commit-by-rename (util/durable_file): a crash mid-write leaves a
+  // `.tmp`, never a torn `.ocs` under the final name.
+  return util::durable_write_file(path, bytes);
 }
 
 util::Result<util::Bytes> read_shard_file(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) {
-    return util::make_error("snapshot: cannot open " + path);
-  }
-  util::Bytes out;
-  std::uint8_t buffer[1u << 16];
-  for (;;) {
-    const std::size_t n = std::fread(buffer, 1, sizeof(buffer), file);
-    out.insert(out.end(), buffer, buffer + n);
-    if (n < sizeof(buffer)) break;
-  }
-  const bool failed = std::ferror(file) != 0;
-  std::fclose(file);
-  if (failed) {
-    return util::make_error("snapshot: read error on " + path);
-  }
-  return out;
+  return util::read_file(path);
 }
 
 util::Status remove_shard_file(const std::string& path) {
-  if (std::remove(path.c_str()) != 0) {
-    return util::make_error("snapshot: cannot remove " + path);
-  }
-  return util::Status::ok_status();
+  return util::remove_file(path);
 }
 
 std::string shard_file_path(const std::string& dir, std::size_t index) {
   char name[32];
   std::snprintf(name, sizeof(name), "shard_%06zu.ocs", index);
   return dir + "/" + name;
+}
+
+std::string quarantine_file_path(const std::string& dir, std::size_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard_%06zu.ocs", index);
+  return dir + "/quarantine/" + name;
 }
 
 }  // namespace origin::dataset

@@ -17,6 +17,14 @@
 // memcpy inside a validated column span), and rejects trailing bytes — so
 // next_page() after a successful open() is infallible, and an accepted
 // snapshot re-encodes to the identical byte string (canonical form).
+//
+// Format v2 (DESIGN.md §15) appends a CRC-64/XZ footer — 4-byte magic
+// "OCSF" plus the big-endian CRC of everything before it — which open()
+// verifies before parsing a single header byte. A torn or bit-flipped
+// shard file is therefore detected up front and surfaces as a Result
+// error ("checksum mismatch"), never as silently wrong timeline data; the
+// streaming pipeline quarantines such shards and regenerates them from
+// their site range (dataset/corpus.h).
 #pragma once
 
 #include <cstdint>
@@ -33,10 +41,15 @@ namespace origin::dataset {
 
 // Format constants, shared by writer, reader, and the fuzz driver.
 inline constexpr char kSnapshotMagic[4] = {'O', 'C', 'S', '1'};
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 inline constexpr std::uint8_t kSnapshotLittleEndianPayload = 1;
 inline constexpr std::size_t kSnapshotMaxSymbolBytes = 4'096;
 inline constexpr std::size_t kSnapshotColumnCount = 30;
+
+// Integrity footer (v2): magic + big-endian CRC-64/XZ over every byte that
+// precedes the footer. Verified before any header parsing.
+inline constexpr char kSnapshotFooterMagic[4] = {'O', 'C', 'S', 'F'};
+inline constexpr std::size_t kSnapshotFooterBytes = 12;
 
 // Entry flag bits (the packed bool column). Any bit outside the mask makes
 // a snapshot invalid.
@@ -87,8 +100,11 @@ class SnapshotReader {
 };
 
 // Shard file IO. Paths name regular files inside the pipeline's spill
-// directory; both are total (errors come back as Status/Result, never
-// exceptions).
+// directory; all are total (errors come back as Status/Result, never
+// exceptions). Writes are crash-consistent: they funnel through
+// util::durable_write_file (temp → fsync → rename commit), so a killed run
+// leaves either the complete shard or a swept-on-startup `.tmp`, never a
+// torn `.ocs`.
 [[nodiscard]] util::Status write_shard_file(
     const std::string& path, std::span<const std::uint8_t> bytes);
 [[nodiscard]] util::Result<util::Bytes> read_shard_file(
@@ -97,5 +113,9 @@ class SnapshotReader {
 
 // Shard path naming: <dir>/shard_<index 6 digits>.ocs
 std::string shard_file_path(const std::string& dir, std::size_t index);
+
+// Quarantine path for a shard whose bytes failed CRC/format validation:
+// <dir>/quarantine/shard_<index 6 digits>.ocs
+std::string quarantine_file_path(const std::string& dir, std::size_t index);
 
 }  // namespace origin::dataset

@@ -129,6 +129,13 @@ void PassivePipeline::merge(const PassivePipeline& other) {
   experiment_connections_ += other.experiment_connections_;
 }
 
+void PassivePipeline::reset() {
+  records_.clear();
+  day_connections_.clear();
+  control_connections_ = 0;
+  experiment_connections_ = 0;
+}
+
 std::uint64_t PassivePipeline::new_connections(Treatment treatment) const {
   return treatment == Treatment::kControl ? control_connections_
                                           : experiment_connections_;

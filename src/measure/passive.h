@@ -67,6 +67,12 @@ class PassivePipeline {
   // merged result equals a single pipeline having observed both streams.
   void merge(const PassivePipeline& other);
 
+  // Drops every record and counter, keeping sample_rate and seed. A
+  // crashed-and-resumed streamed replay restarts its sweep from shard 0;
+  // resetting here makes the re-observation indistinguishable from a
+  // single uninterrupted stream (dataset::ShardObserver::on_stream_restart).
+  void reset();
+
   // New TLS connections to the third party per treatment (per day).
   std::uint64_t new_connections(Treatment treatment) const;
   std::uint64_t new_connections_on_day(Treatment treatment,

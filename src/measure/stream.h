@@ -49,6 +49,9 @@ class PassiveShardObserver : public dataset::ShardObserver {
 
   void on_shard(const std::vector<web::PageLoad>& pages,
                 std::size_t first_ordinal) override;
+  // Resets the pipeline so a restarted (crash-resumed) sweep observes one
+  // clean stream instead of double-counting replayed shards.
+  void on_stream_restart() override { pipeline_.reset(); }
 
   const PassivePipeline& pipeline() const { return pipeline_; }
   PassiveStreamStats stats() const;

@@ -1,0 +1,91 @@
+#include "util/crash.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+namespace origin::util::crash {
+
+namespace {
+
+// Armed configuration. The point name is written only while holding
+// g_config_once-style exclusion (arm/disarm are test/supervisor entry
+// points, never concurrent with pipeline hits in practice); the counters
+// are atomics so hits from pooled workers stay well-defined.
+struct Config {
+  std::string point;
+  std::atomic<std::uint64_t> remaining{0};
+  std::atomic<bool> armed{false};
+  bool soft = false;
+};
+
+Config& config() {
+  static Config instance;
+  return instance;
+}
+
+std::once_flag g_env_once;
+
+// ORIGIN_CRASH_AT=<point>:<k> — hard crash at the k-th hit.
+void arm_from_env() {
+  const char* spec = std::getenv("ORIGIN_CRASH_AT");
+  if (spec == nullptr || *spec == '\0') return;
+  const std::string text(spec);
+  const std::size_t colon = text.rfind(':');
+  std::uint64_t count = 1;
+  std::string point = text;
+  if (colon != std::string::npos) {
+    point = text.substr(0, colon);
+    const char* digits = text.c_str() + colon + 1;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(digits, &end, 10);
+    if (end != digits && *end == '\0' && parsed > 0) {
+      count = parsed;
+    }
+  }
+  if (point.empty()) return;
+  arm(point, count, /*soft=*/false);
+}
+
+}  // namespace
+
+void arm(std::string_view point, std::uint64_t count, bool soft) {
+  Config& c = config();
+  c.armed.store(false, std::memory_order_release);
+  c.point.assign(point);
+  c.soft = soft;
+  c.remaining.store(count == 0 ? 1 : count, std::memory_order_relaxed);
+  c.armed.store(true, std::memory_order_release);
+}
+
+void disarm() {
+  Config& c = config();
+  c.armed.store(false, std::memory_order_release);
+  c.remaining.store(0, std::memory_order_relaxed);
+  c.point.clear();
+}
+
+bool armed() {
+  std::call_once(g_env_once, arm_from_env);
+  return config().armed.load(std::memory_order_acquire);
+}
+
+bool crash_point(const char* point) {
+  std::call_once(g_env_once, arm_from_env);
+  Config& c = config();
+  if (!c.armed.load(std::memory_order_acquire)) return false;
+  if (c.point != point) return false;
+  if (c.remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return false;
+  c.armed.store(false, std::memory_order_release);
+  if (c.soft) return true;
+  // Hard mode: die like a power cut — no unwinding, no flushes beyond this
+  // diagnostic line (stderr is unbuffered).
+  std::fprintf(stderr, "origin: injected crash at %s\n", point);
+  _exit(kCrashExitCode);
+}
+
+}  // namespace origin::util::crash

@@ -1,0 +1,53 @@
+// Deterministic crash injection for the durability layer (DESIGN.md §15).
+//
+// The storage pipeline seeds named crash points through its commit
+// boundaries (shard load/encode, the temp-write → rename window inside
+// util/durable_file, the manifest append, per-shard analyze). A point does
+// nothing until armed; once armed, the k-th hit of the named point fires.
+//
+// Two firing modes:
+//   * hard (the default, and the only mode ORIGIN_CRASH_AT selects): the
+//     process dies on the spot via _exit(kCrashExitCode) — no destructors,
+//     no stream flushes, exactly the torn state a power cut leaves behind.
+//     The kill–resume supervisor (bench/bench_ablation_crash.cc) drives
+//     child processes this way.
+//   * soft (test-only, armed through arm()): crash_point() returns true
+//     once and disarms; the caller must abandon the run by propagating an
+//     error, leaving partial on-disk state for a resume to recover. This is
+//     how the in-process resume matrix kills a run at every boundary
+//     without forking per parameter.
+//
+// Environment: ORIGIN_CRASH_AT=<point>:<k> arms a hard crash at the k-th
+// hit of <point> (k >= 1, counted process-wide). Parsed once, lazily.
+//
+// Hit counting is atomic but points are expected to sit at serial pipeline
+// boundaries, so "k-th hit" is deterministic for a fixed configuration.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace origin::util::crash {
+
+// Exit status of a hard injected crash; the supervisor treats any other
+// child failure as a real bug, not a scheduled kill.
+inline constexpr int kCrashExitCode = 113;
+
+// Arms a crash: the `count`-th hit of `point` fires (count >= 1). Soft mode
+// makes crash_point() return true instead of killing the process.
+void arm(std::string_view point, std::uint64_t count, bool soft);
+
+// Disarms any armed crash and resets hit counters.
+void disarm();
+
+// True while a crash is armed (either mode).
+bool armed();
+
+// Marks one named pipeline boundary. Returns true exactly when a soft
+// crash fires here — the caller must then abandon the run (return an
+// error up the stack) without completing the operation. Hard crashes never
+// return. Unarmed or non-matching hits return false and cost two atomic
+// loads.
+[[nodiscard]] bool crash_point(const char* point);
+
+}  // namespace origin::util::crash

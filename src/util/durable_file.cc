@@ -1,0 +1,216 @@
+#include "util/durable_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "util/crash.h"
+
+namespace origin::util {
+
+namespace {
+
+Error io_error(const char* what, const std::string& path) {
+  // analyze:allow(hot-transitive): error-path only; the reported hot chain
+  // is a by-name match of DurableLog::open against the HTTP/2 server's
+  // unrelated flush-path open — no hot root reaches durable file IO.
+  return make_error(std::string("durable_file: ") + what + " " + path + ": " +
+                    std::strerror(errno));
+}
+
+Status ensure_parent_dir(const std::string& path) {
+  const std::filesystem::path fs_path(path);
+  if (!fs_path.has_parent_path()) return Status::ok_status();
+  std::error_code ec;
+  std::filesystem::create_directories(fs_path.parent_path(), ec);
+  if (ec) {
+    return make_error("durable_file: cannot create directory " +
+                      fs_path.parent_path().string() + ": " + ec.message());
+  }
+  return Status::ok_status();
+}
+
+// Loops write(2) until `bytes` is fully written or a real error shows up.
+Status write_all(int fd, std::span<const std::uint8_t> bytes,
+                 const std::string& path) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return io_error("write to", path);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return Status::ok_status();
+}
+
+// fsyncs the directory containing `path` so the rename itself is durable.
+void sync_parent_dir(const std::string& path) {
+  const std::filesystem::path fs_path(path);
+  const std::string dir =
+      fs_path.has_parent_path() ? fs_path.parent_path().string() : ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+Status durable_write_file(const std::string& path,
+                          std::span<const std::uint8_t> bytes) {
+  auto parent = ensure_parent_dir(path);
+  if (!parent.ok()) return parent;
+
+  const std::string temp = path + std::string(kDurableTempSuffix);
+  const int fd =
+      ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return io_error("cannot open temp", temp);
+
+  // Torn-write crash point: half the payload on disk, no rename. The final
+  // path is untouched; only the temp is garbage.
+  const std::size_t half = bytes.size() / 2;
+  auto first = write_all(fd, bytes.first(half), temp);
+  if (!first.ok()) {
+    ::close(fd);
+    return first;
+  }
+  if (crash::crash_point("durable.mid_write")) {
+    ::close(fd);
+    return make_error("durable_file: crash injected at durable.mid_write (" +
+                      temp + ")");
+  }
+  auto rest = write_all(fd, bytes.subspan(half), temp);
+  if (!rest.ok()) {
+    ::close(fd);
+    return rest;
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return io_error("fsync of", temp);
+  }
+  if (::close(fd) != 0) return io_error("close of", temp);
+
+  // Temp is complete and durable; the commit (rename) has not happened.
+  if (crash::crash_point("durable.pre_rename")) {
+    return make_error("durable_file: crash injected at durable.pre_rename (" +
+                      temp + ")");
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    return io_error("rename onto", path);
+  }
+  sync_parent_dir(path);
+  // Committed; the caller's follow-up (e.g. the manifest append) has not
+  // run yet.
+  if (crash::crash_point("durable.post_rename")) {
+    return make_error("durable_file: crash injected at durable.post_rename (" +
+                      path + ")");
+  }
+  return Status::ok_status();
+}
+
+Status durable_write_file(const std::string& path, std::string_view text) {
+  return durable_write_file(
+      path, std::span<const std::uint8_t>(
+                static_cast<const std::uint8_t*>(
+                    static_cast<const void*>(text.data())),
+                text.size()));
+}
+
+Result<Bytes> read_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return io_error("cannot open", path);
+  Bytes out;
+  std::uint8_t buffer[1u << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return io_error("read of", path);
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buffer, buffer + n);
+  }
+  ::close(fd);
+  return out;
+}
+
+Status remove_file(const std::string& path) {
+  if (std::remove(path.c_str()) != 0) {
+    return io_error("cannot remove", path);
+  }
+  return Status::ok_status();
+}
+
+Result<std::size_t> sweep_stale_temps(const std::string& dir) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) return std::size_t{0};
+  std::size_t swept = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() < kDurableTempSuffix.size() ||
+        name.compare(name.size() - kDurableTempSuffix.size(),
+                     kDurableTempSuffix.size(), kDurableTempSuffix) != 0) {
+      continue;
+    }
+    std::error_code remove_ec;
+    if (std::filesystem::remove(entry.path(), remove_ec)) ++swept;
+  }
+  if (ec) {
+    return make_error("durable_file: cannot scan " + dir + ": " +
+                      ec.message());
+  }
+  return swept;
+}
+
+DurableLog::DurableLog(DurableLog&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {}
+
+DurableLog& DurableLog::operator=(DurableLog&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+DurableLog::~DurableLog() { close(); }
+
+Result<DurableLog> DurableLog::open(const std::string& path) {
+  auto parent = ensure_parent_dir(path);
+  if (!parent.ok()) return parent.error();
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) return io_error("cannot open log", path);
+  DurableLog log;
+  log.fd_ = fd;
+  log.path_ = path;
+  return log;
+}
+
+Status DurableLog::append(std::span<const std::uint8_t> bytes) {
+  if (fd_ < 0) return make_error("durable_file: append on closed log");
+  auto written = write_all(fd_, bytes, path_);
+  if (!written.ok()) return written;
+  if (::fsync(fd_) != 0) return io_error("fsync of log", path_);
+  return Status::ok_status();
+}
+
+void DurableLog::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace origin::util

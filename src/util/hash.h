@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <type_traits>
@@ -61,5 +62,56 @@ struct Hash<std::pair<A, B>, void> {
     return fnv1a64_mix(Hash<A>{}(p.first), Hash<B>{}(p.second));
   }
 };
+
+// --- CRC-64/XZ (reflected ECMA-182) ---------------------------------------
+//
+// The integrity checksum behind the durable storage layer (DESIGN.md §15):
+// OCS1 shard footers, OCM1 manifest records, and the per-shard content
+// digests in BENCH_corpus.json. Unlike the FNV/splitmix hashes above it is
+// a true CRC — any single-bit flip (and any burst error up to 64 bits) in a
+// checked span is guaranteed to change the value, which is the property the
+// torn/corrupt-shard detection relies on. check("123456789") ==
+// 0x995DC9BBDF1939FA. Chaining: crc64(b, crc64(a)) == crc64(a + b).
+
+namespace detail {
+
+struct Crc64Table {
+  std::uint64_t t[256];
+  constexpr Crc64Table() : t{} {
+    constexpr std::uint64_t kPoly = 0xC96C5795D7870F42ULL;  // reflected
+    for (int i = 0; i < 256; ++i) {
+      std::uint64_t crc = static_cast<std::uint64_t>(i);
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[i] = crc;
+    }
+  }
+};
+inline constexpr Crc64Table kCrc64Table{};
+
+}  // namespace detail
+
+constexpr std::uint64_t crc64_update(std::uint64_t crc, std::uint8_t byte) {
+  return detail::kCrc64Table.t[(crc ^ byte) & 0xff] ^ (crc >> 8);
+}
+
+inline std::uint64_t crc64(std::span<const std::uint8_t> data,
+                           std::uint64_t seed = 0) {
+  std::uint64_t crc = ~seed;
+  for (const std::uint8_t byte : data) crc = crc64_update(crc, byte);
+  return ~crc;
+}
+
+constexpr std::uint64_t crc64(std::string_view data, std::uint64_t seed = 0) {
+  std::uint64_t crc = ~seed;
+  for (const char c : data) {
+    crc = crc64_update(crc, static_cast<std::uint8_t>(c));
+  }
+  return ~crc;
+}
+
+static_assert(crc64("123456789") == 0x995DC9BBDF1939FAULL,
+              "CRC-64/XZ check vector");
 
 }  // namespace origin::util

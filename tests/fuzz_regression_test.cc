@@ -13,6 +13,7 @@
 #include <string>
 
 #include "dataset/corpus.h"
+#include "dataset/manifest.h"
 #include "dataset/snapshot.h"
 #include "h2/frame.h"
 #include "hpack/hpack.h"
@@ -21,6 +22,7 @@
 #include "netsim/simulator.h"
 #include "server/http2_server.h"
 #include "util/bytes.h"
+#include "util/hash.h"
 #include "util/json.h"
 #include "web/har_json.h"
 
@@ -486,6 +488,21 @@ origin::util::Result<origin::dataset::SnapshotReader> open_snapshot(
       std::span<const std::uint8_t>(bytes.data(), bytes.size()));
 }
 
+// Recomputes the v2 CRC footer after a deliberate body mutation, so the
+// corruption cases below reach the header checks they target instead of
+// stopping at the checksum gate.
+Bytes reseal(Bytes snapshot) {
+  const std::size_t body =
+      snapshot.size() - origin::dataset::kSnapshotFooterBytes;
+  const std::uint64_t crc = origin::util::crc64(
+      std::span<const std::uint8_t>(snapshot.data(), body));
+  for (std::size_t i = 0; i < 8; ++i) {
+    snapshot[body + 4 + i] =
+        static_cast<std::uint8_t>(crc >> (8 * (7 - i)));
+  }
+  return snapshot;
+}
+
 TEST(FuzzRegressionCorpusSnapshot, EmptyShardAcceptedWithZeroPages) {
   // corpus: corpus_snapshot/empty_shard.ocs
   auto reader = open_snapshot(empty_shard_snapshot());
@@ -510,27 +527,36 @@ TEST(FuzzRegressionCorpusSnapshot, TruncationAnywhereRejected) {
 }
 
 TEST(FuzzRegressionCorpusSnapshot, BadMagicRejected) {
-  // corpus: corpus_snapshot/bad_magic.ocs
+  // corpus: corpus_snapshot/bad_magic.ocs — resealed so the magic check
+  // itself rejects, not the checksum.
   Bytes snapshot = empty_shard_snapshot();
   snapshot[0] ^= 0xFF;
-  EXPECT_FALSE(open_snapshot(snapshot).ok());
+  EXPECT_FALSE(open_snapshot(reseal(std::move(snapshot))).ok());
 }
 
 TEST(FuzzRegressionCorpusSnapshot, HugeRowCountRejected) {
   // corpus: corpus_snapshot/huge_counts.ocs — the pages field (header
   // offset 33) forced to ~2^64 must fail the row cap / cross-sum checks,
-  // not drive a huge allocation.
+  // not drive a huge allocation. Resealed past the checksum gate.
   Bytes snapshot = empty_shard_snapshot();
   for (std::size_t i = 33; i < 41; ++i) snapshot[i] = 0xFF;
-  EXPECT_FALSE(open_snapshot(snapshot).ok());
+  EXPECT_FALSE(open_snapshot(reseal(std::move(snapshot))).ok());
 }
 
 TEST(FuzzRegressionCorpusSnapshot, BigEndianSentinelRejected) {
   // corpus: corpus_snapshot/bad_endian.ocs — column payloads are declared
   // little-endian; a sentinel of 2 (big-endian writer) must be rejected
-  // rather than silently byte-swapped.
+  // rather than silently byte-swapped. Resealed past the checksum gate.
   Bytes snapshot = empty_shard_snapshot();
   snapshot[8] = 2;
+  EXPECT_FALSE(open_snapshot(reseal(std::move(snapshot))).ok());
+}
+
+TEST(FuzzRegressionCorpusSnapshot, BadFooterCrcRejected) {
+  // corpus: corpus_snapshot/bad_crc.ocs — well-formed framing, one flipped
+  // checksum byte.
+  Bytes snapshot = empty_shard_snapshot();
+  snapshot[snapshot.size() - 1] ^= 0x41;
   EXPECT_FALSE(open_snapshot(snapshot).ok());
 }
 
@@ -540,6 +566,121 @@ TEST(FuzzRegressionCorpusSnapshot, TrailingByteRejected) {
   Bytes snapshot = empty_shard_snapshot();
   snapshot.push_back(0);
   EXPECT_FALSE(open_snapshot(snapshot).ok());
+}
+
+// --- OCM1 run-manifest journal -------------------------------------------
+
+origin::dataset::ManifestHeader manifest_header() {
+  origin::dataset::ManifestHeader header;
+  header.config_digest = 0xDEADBEEFCAFEF00DULL;
+  header.corpus_seed = 2022;
+  header.eligible_sites = 9455;
+  header.sites_per_shard = 4096;
+  header.shard_total = 3;
+  return header;
+}
+
+origin::dataset::ManifestRecord manifest_record(std::uint64_t index,
+                                                std::uint64_t crc) {
+  origin::dataset::ManifestRecord record;
+  record.shard_index = index;
+  record.first_site = index * 4096;
+  record.pages = 100;
+  record.entries = 4000;
+  record.encoded_bytes = 40'000;
+  record.content_crc64 = crc;
+  return record;
+}
+
+origin::util::Result<origin::dataset::Manifest> open_manifest(
+    const Bytes& bytes) {
+  return origin::dataset::read_manifest(
+      std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+}
+
+TEST(FuzzRegressionManifest, TruncationTornTailIsDroppedAndCounted) {
+  // corpus: manifest/torn_tail.ocm and truncated_header.ocm — a journal cut
+  // mid-record parses to the records before the tear; a journal cut inside
+  // the header is an error, never a crash.
+  Bytes journal = origin::dataset::encode_manifest_header(manifest_header());
+  const Bytes record =
+      origin::dataset::encode_manifest_record(manifest_record(0, 0x1111));
+  journal.insert(journal.end(), record.begin(), record.end());
+  for (std::size_t keep = 0; keep < journal.size(); ++keep) {
+    Bytes prefix(journal.begin(),
+                 journal.begin() + static_cast<std::ptrdiff_t>(keep));
+    auto parsed = open_manifest(prefix);
+    if (keep < origin::dataset::kManifestHeaderBytes) {
+      EXPECT_FALSE(parsed.ok()) << "accepted torn header, length " << keep;
+      continue;
+    }
+    ASSERT_TRUE(parsed.ok()) << "rejected torn tail, length " << keep;
+    const std::size_t whole_records =
+        (keep - origin::dataset::kManifestHeaderBytes) /
+        origin::dataset::kManifestRecordBytes;
+    EXPECT_EQ(parsed->records.size(), whole_records);
+    EXPECT_EQ(parsed->tail_bytes_dropped,
+              keep - origin::dataset::kManifestHeaderBytes -
+                  whole_records * origin::dataset::kManifestRecordBytes);
+  }
+}
+
+TEST(FuzzRegressionManifest, DuplicateShardRecordsResolveLastWins) {
+  // corpus: manifest/duplicate_records.ocm — a shard re-journaled after
+  // quarantine recovery appears twice; replay must trust the final record.
+  Bytes journal = origin::dataset::encode_manifest_header(manifest_header());
+  for (const auto& record : {manifest_record(1, 0x1111),
+                             manifest_record(1, 0x2222)}) {
+    const Bytes encoded = origin::dataset::encode_manifest_record(record);
+    journal.insert(journal.end(), encoded.begin(), encoded.end());
+  }
+  auto parsed = open_manifest(journal);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->records.size(), 2u);
+  const auto latest = parsed->latest_records();
+  EXPECT_EQ(latest.size(), 1u);
+  const auto* winner = latest.find(1);
+  ASSERT_NE(winner, nullptr);
+  EXPECT_EQ(winner->content_crc64, 0x2222u);
+}
+
+TEST(FuzzRegressionManifest, ConfigDigestMismatchParsesButDiffers) {
+  // corpus: manifest/config_mismatch.ocm — a journal from a different run
+  // config is well-formed bytes; rejecting it is the resume layer's job
+  // (StreamingCorpus::config_digest), so the reader must surface the
+  // foreign digest intact rather than failing.
+  auto foreign = manifest_header();
+  foreign.config_digest = 0x1;
+  Bytes journal = origin::dataset::encode_manifest_header(foreign);
+  auto parsed = open_manifest(journal);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header.config_digest, 0x1u);
+  EXPECT_NE(parsed->header.config_digest,
+            manifest_header().config_digest);
+}
+
+TEST(FuzzRegressionManifest, TrailingBytesDroppedNeverReadAsRecords) {
+  // corpus: manifest/trailing_garbage.ocm — garbage after the last valid
+  // record is counted tail, and a flipped byte inside a record ends the
+  // journal at the previous record (its CRC no longer matches).
+  Bytes journal = origin::dataset::encode_manifest_header(manifest_header());
+  const Bytes record =
+      origin::dataset::encode_manifest_record(manifest_record(0, 0x1111));
+  journal.insert(journal.end(), record.begin(), record.end());
+  Bytes garbage = journal;
+  for (int i = 0; i < 9; ++i) garbage.push_back(0);
+  auto parsed = open_manifest(garbage);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->records.size(), 1u);
+  EXPECT_EQ(parsed->tail_bytes_dropped, 9u);
+
+  Bytes bent = journal;
+  bent[origin::dataset::kManifestHeaderBytes + 10] ^= 0x41;
+  auto rejected = open_manifest(bent);
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_TRUE(rejected->records.empty());
+  EXPECT_EQ(rejected->tail_bytes_dropped,
+            origin::dataset::kManifestRecordBytes);
 }
 
 }  // namespace

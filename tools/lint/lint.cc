@@ -76,6 +76,16 @@
 //                         silently loses an entry. The one audited call
 //                         site inside close_endpoint carries the waiver.
 //
+//   durable-write-only    In src/dataset (the spill/journal layer), raw
+//                         file-writing primitives — std::ofstream, fopen
+//                         with a write/append mode, fwrite — are forbidden:
+//                         every byte that lands in a spill directory must
+//                         funnel through util/durable_file.h
+//                         (temp → fsync → rename, or the fsynced
+//                         DurableLog), otherwise a crash can leave a torn
+//                         file that resume would read as data
+//                         (DESIGN.md §15). Read-only opens are fine.
+//
 //   guarded-by-annotation members declared in the block following a mutex
 //                         member must carry ORIGIN_GUARDED_BY /
 //                         ORIGIN_PT_GUARDED_BY (sync primitives, immutable
@@ -202,6 +212,12 @@ class Linter {
     // prefix) in any ordered-tree container.
     static const std::regex string_keyed_tree(
         R"(std::(multi)?(map|set)\s*<\s*std::string)");
+    // Raw write-capable file primitives: ofstream construction, fopen with
+    // any mode containing 'w' or 'a' (appends included), and fwrite. The
+    // POSIX open(2) with O_WRONLY is matched too — util/durable_file.cc is
+    // the one audited home for it, and it sits outside dataset/.
+    static const std::regex raw_file_write(
+        R"(std::ofstream|\bfwrite\s*\(|\bf?open\s*\([^;)]*,\s*(\"[^\"]*[wa][^\"]*\"|O_WRONLY|O_RDWR|O_APPEND))");
 
     bool saw_nodiscard_result = false;
     bool saw_nodiscard_status = false;
@@ -312,6 +328,17 @@ class Linter {
                "server-initiated closes must go through "
                "Http2Server::close_endpoint so the reason lands in "
                "Stats::close_reasons; a raw close() is an unaudited shed");
+      }
+
+      // durable-write-only: dataset/ writes spill shards and the manifest
+      // journal; a raw write path can tear a file a resume would trust.
+      if (first_component(rel) == "dataset" && !comment &&
+          std::regex_search(line, raw_file_write)) {
+        report(rel, lineno, "durable-write-only",
+               "dataset/ writes must go through util/durable_file.h "
+               "(durable_write_file or DurableLog: temp -> fsync -> rename "
+               "commit); a raw write can leave a torn file that a "
+               "crash-resume would read as data (DESIGN.md #15)");
       }
 
       if (in_interned_hot_path(rel) && !comment &&
